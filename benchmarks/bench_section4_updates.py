@@ -1,0 +1,146 @@
+"""Experiment U1 — section 4.2: identity and update programs.
+
+Times the paper's five object examples, the hotel-insertion update
+program across growing extents, and compares the update-comprehension
+path against a direct imperative loop over the store (the abstraction
+cost of running updates *as queries*).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calculus import (
+    add,
+    assign,
+    bind,
+    comp,
+    const,
+    deref,
+    eq,
+    gen,
+    new,
+    proj,
+    rec,
+    var,
+)
+from repro.db import Database, travel_schema
+from repro.eval import Evaluator
+from repro.objects import add_to_field, run_update, update_where
+from repro.values import Record
+
+PAPER_EXAMPLES = {
+    "distinct-objects": (
+        comp("some", eq(var("x"), var("y")),
+             [bind("x", new(const(1))), bind("y", new(const(1)))]),
+        False,
+    ),
+    "alias-equality": (
+        comp("some", eq(var("x"), var("y")),
+             [bind("x", new(const(1))), bind("y", var("x")),
+              assign(var("y"), const(2))]),
+        True,
+    ),
+    "alias-mutation": (
+        comp("sum", deref(var("x")),
+             [bind("x", new(const(1))), bind("y", var("x")),
+              assign(var("y"), const(2))]),
+        2,
+    ),
+    "state-iteration": (
+        comp("set", var("e"),
+             [bind("x", new(const(()))), assign(var("x"), const((1, 2))),
+              gen("e", deref(var("x")))]),
+        frozenset({1, 2}),
+    ),
+    "running-sums": (
+        comp("list", deref(var("x")),
+             [bind("x", new(const(0))), gen("e", const((1, 2, 3, 4))),
+              assign(var("x"), add(deref(var("x")), var("e")))]),
+        (1, 3, 6, 10),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_EXAMPLES), ids=sorted(PAPER_EXAMPLES))
+def test_paper_object_examples(benchmark, name):
+    term, expected = PAPER_EXAMPLES[name]
+    benchmark.group = "U1 examples"
+    value = benchmark(lambda: Evaluator().evaluate(term))
+    assert value == expected
+
+
+def _object_db(num_cities: int) -> Database:
+    db = Database(travel_schema())
+    db.load_objects(
+        "Cities",
+        "City",
+        [
+            {
+                "name": f"City-{i}",
+                "state": "OR",
+                "population": 1000 * i,
+                "hotels": set(),
+                "hotel_count": 0,
+            }
+            for i in range(num_cities)
+        ],
+    )
+    return db
+
+
+def _insertion_program(city: str):
+    return update_where(
+        "Cities",
+        "c",
+        eq(proj(var("c"), "name"), const(city)),
+        [
+            add_to_field("hotels", rec(name=const("New Hotel"), stars=const(4))),
+            add_to_field("hotel_count", const(1)),
+        ],
+    )
+
+
+@pytest.mark.parametrize("num_cities", [10, 100, 1000])
+def test_update_program_series(benchmark, num_cities):
+    """The paper's hotel-insertion program as the extent grows."""
+    benchmark.group = f"U1 update n={num_cities}"
+    db = _object_db(num_cities)
+    program = _insertion_program("City-1")
+    evaluator = db.evaluator()
+    touched = benchmark(lambda: run_update(program, evaluator))
+    assert len(touched) == 1
+
+
+@pytest.mark.parametrize("num_cities", [10, 100, 1000])
+def test_direct_imperative_baseline(benchmark, num_cities):
+    """The same mutation done by hand against the store."""
+    benchmark.group = f"U1 update n={num_cities}"
+    db = _object_db(num_cities)
+    store = db.store
+    objs = list(db.registry.extent("Cities"))
+
+    def imperative():
+        touched = []
+        for obj in objs:
+            state = store.deref(obj)
+            if state["name"] == "City-1":
+                state = state.with_field(
+                    "hotels",
+                    frozenset(state["hotels"]) | {Record(name="New Hotel", stars=4)},
+                ).with_field("hotel_count", state["hotel_count"] + 1)
+                store.assign(obj, state)
+                touched.append(obj)
+        return touched
+
+    touched = benchmark(imperative)
+    assert len(touched) == 1
+
+
+def test_bulk_update_touches_every_object(benchmark):
+    db = _object_db(200)
+    program = update_where("Cities", "c", None, [add_to_field("hotel_count", const(1))])
+    evaluator = db.evaluator()
+    benchmark.group = "U1 bulk"
+    touched = benchmark(lambda: run_update(program, evaluator))
+    assert len(touched) == 200

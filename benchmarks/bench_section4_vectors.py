@@ -1,0 +1,128 @@
+"""Experiment V1 — section 4.1: vectors and arrays as monoids.
+
+Times every vector example from the paper (reverse, subsequence,
+permutation, inner product, matmul, transpose, histogram) plus the
+FFT-as-a-query [7], each validated against a direct computation
+(numpy for the FFT). The comparison of interest is the calculus
+engine's overhead versus plain Python loops — the *shape* claim is
+that vector comprehensions express these computations, not that an
+interpreter beats BLAS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vectors import (
+    fft_query,
+    histogram_query,
+    inner_product_query,
+    matmul_query,
+    permute_query,
+    reverse_query,
+    subsequence_query,
+    transpose_query,
+)
+
+
+@pytest.mark.parametrize("n", [64, 512])
+def test_reverse(benchmark, n):
+    benchmark.group = f"V1 reverse n={n}"
+    xs = list(range(n))
+    out = benchmark(lambda: reverse_query(xs))
+    assert out == xs[::-1]
+
+
+@pytest.mark.parametrize("n", [64, 512])
+def test_reverse_python_baseline(benchmark, n):
+    benchmark.group = f"V1 reverse n={n}"
+    xs = list(range(n))
+    out = benchmark(lambda: xs[::-1])
+    assert out[0] == n - 1
+
+
+def test_subsequence(benchmark):
+    xs = list(range(512))
+    out = benchmark(lambda: subsequence_query(xs, 100, 400))
+    assert out == xs[100:400]
+
+
+def test_permutation(benchmark):
+    n = 256
+    xs = list(range(n))
+    perm = [(i * 97) % n for i in range(n)]  # 97 coprime with 256
+    out = benchmark(lambda: permute_query(xs, perm))
+    expected = [0] * n
+    for i, target in enumerate(perm):
+        expected[target] = xs[i]
+    assert out == expected
+
+
+def test_inner_product(benchmark):
+    n = 512
+    xs = list(range(n))
+    ys = list(range(n, 0, -1))
+    out = benchmark(lambda: inner_product_query(xs, ys))
+    assert out == sum(a * b for a, b in zip(xs, ys))
+
+
+def test_histogram(benchmark):
+    data = [(i * 37) % 100 for i in range(2000)]
+    out = benchmark(lambda: histogram_query(data, buckets=10, width=10))
+    assert sum(out) == len(data)
+
+
+@pytest.mark.parametrize("n", [4, 8])
+def test_matmul(benchmark, n):
+    benchmark.group = f"V1 matmul {n}x{n}"
+    rng = np.random.default_rng(n)
+    a = rng.integers(0, 9, (n, n)).tolist()
+    b = rng.integers(0, 9, (n, n)).tolist()
+    out = benchmark(lambda: matmul_query(a, b))
+    assert out == (np.array(a) @ np.array(b)).tolist()
+
+
+def test_transpose(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 9, (12, 8)).tolist()
+    out = benchmark(lambda: transpose_query(a))
+    assert out == np.array(a).T.tolist()
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_fft_as_query(benchmark, n):
+    """Buneman's FFT as log2(n)+1 vector comprehensions (series)."""
+    benchmark.group = f"V1 fft n={n}"
+    rng = np.random.default_rng(n)
+    xs = rng.normal(size=n).tolist()
+    out = benchmark(lambda: fft_query(xs))
+    ref = np.fft.fft(xs)
+    assert max(abs(m - r) for m, r in zip(out, ref)) < 1e-8
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_fft_numpy_baseline(benchmark, n):
+    benchmark.group = f"V1 fft n={n}"
+    rng = np.random.default_rng(n)
+    xs = rng.normal(size=n).tolist()
+    benchmark(lambda: np.fft.fft(xs))
+
+
+def test_fft_scaling_is_nlogn_not_quadratic():
+    """Shape: doubling n must not quadruple the comprehension FFT time."""
+    import time
+
+    def median_run(n: int) -> float:
+        xs = np.random.default_rng(n).normal(size=n).tolist()
+        times = []
+        for _ in range(5):
+            start = time.perf_counter()
+            fft_query(xs)
+            times.append(time.perf_counter() - start)
+        times.sort()
+        return times[len(times) // 2]
+
+    t_small, t_big = median_run(128), median_run(512)
+    # 4x the input: n log n predicts ~4.5x; quadratic predicts 16x.
+    assert t_big / t_small < 10.0

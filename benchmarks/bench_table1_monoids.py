@@ -1,0 +1,147 @@
+"""Experiment T1 — Table 1: the monoid catalog.
+
+Regenerates the paper's Table 1 from the live registry (the rows are
+asserted, and printed into the benchmark's ``extra_info``), validates
+the monoid laws on every entry, and measures merge / bulk-accumulation
+throughput per monoid — the constant factors behind every comprehension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monoids import (
+    ALL,
+    BAG,
+    LIST,
+    MAX,
+    MIN,
+    OSET,
+    PROD,
+    SET,
+    SOME,
+    STRING,
+    SUM,
+    hom,
+    sorted_monoid,
+    table1,
+)
+from repro.values import Bag, OrderedSet
+
+#: The paper's Table 1, as data (monoid -> C/I flags).
+PAPER_TABLE1_CI = {
+    "list": "-",
+    "set": "CI",
+    "bag": "C",
+    "oset": "I",
+    "string": "-",
+    "sorted[f]": "CI",
+    "sum": "C",
+    "prod": "C",
+    "max": "CI",
+    "min": "CI",
+    "some": "CI",
+    "all": "CI",
+}
+
+_N = 2_000
+
+_COLLECTION_CASES = {
+    "list": (LIST, lambda: tuple(range(50))),
+    "set": (SET, lambda: frozenset(range(50))),
+    "bag": (BAG, lambda: Bag(range(50))),
+    "oset": (OSET, lambda: OrderedSet(range(50))),
+    "string": (STRING, lambda: "x" * 50),
+}
+
+_PRIMITIVE_CASES = {
+    "sum": (SUM, 7),
+    "prod": (PROD, 1),
+    "max": (MAX, 7),
+    "min": (MIN, 7),
+    "some": (SOME, True),
+    "all": (ALL, True),
+}
+
+
+def test_table1_rows_match_paper(benchmark):
+    """The regenerated table's C/I column equals the paper's."""
+
+    def regenerate():
+        rows = table1()
+        flags = {row["monoid"]: row["C/I"] for row in rows}
+        assert flags == PAPER_TABLE1_CI
+        return rows
+
+    rows = benchmark(regenerate)
+    benchmark.extra_info["rows"] = [
+        f"{r['monoid']}: type={r['type']} zero={r['zero']} "
+        f"unit={r['unit']} merge={r['merge']} C/I={r['C/I']}"
+        for r in rows
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(_COLLECTION_CASES))
+def test_collection_merge_throughput(benchmark, name):
+    monoid, make = _COLLECTION_CASES[name]
+    chunk = make()
+    benchmark.group = "T1 merge"
+
+    def merge_many():
+        acc = monoid.zero()
+        for _ in range(200):
+            acc = monoid.merge(acc, chunk)
+        return acc
+
+    benchmark(merge_many)
+
+
+@pytest.mark.parametrize("name", sorted(_COLLECTION_CASES))
+def test_collection_accumulator_throughput(benchmark, name):
+    """The O(n) bulk path comprehensions actually use."""
+    monoid, _ = _COLLECTION_CASES[name]
+    benchmark.group = "T1 accumulate"
+
+    def accumulate():
+        acc = monoid.accumulator()
+        for i in range(_N):
+            acc.add(i % 97)
+        return acc.finish()
+
+    benchmark(accumulate)
+
+
+@pytest.mark.parametrize("name", sorted(_PRIMITIVE_CASES))
+def test_primitive_merge_throughput(benchmark, name):
+    monoid, unit_value = _PRIMITIVE_CASES[name]
+    benchmark.group = "T1 primitive"
+
+    def fold():
+        acc = monoid.zero()
+        for _ in range(_N):
+            acc = monoid.merge(acc, unit_value)
+        return acc
+
+    benchmark(fold)
+
+
+def test_sorted_monoid_throughput(benchmark):
+    monoid = sorted_monoid(lambda x: x)
+    benchmark.group = "T1 accumulate"
+
+    def accumulate():
+        acc = monoid.accumulator()
+        for i in range(_N):
+            acc.add((i * 7919) % 1000)
+        return acc.finish()
+
+    out = benchmark(accumulate)
+    assert list(out) == sorted(set(out))
+
+
+def test_hom_throughput(benchmark):
+    """The single bulk operator: hom[list -> sum] over 10k elements."""
+    data = tuple(range(10_000))
+    benchmark.group = "T1 hom"
+    result = benchmark(lambda: hom(LIST, SUM, lambda a: a, data))
+    assert result == sum(range(10_000))

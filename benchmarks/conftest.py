@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Running ``pytest benchmarks/ --benchmark-only`` regenerates every series
+the reproduction reports (grouped per experiment id from DESIGN.md);
+running plain ``pytest benchmarks/`` additionally executes the *shape*
+assertions (who wins, by how much) that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    Database,
+    company_schema,
+    make_company,
+    make_travel_agency,
+    travel_schema,
+)
+
+
+def build_travel_db(num_cities: int, seed: int = 0) -> Database:
+    db = Database(travel_schema())
+    db.load_extents(
+        make_travel_agency(
+            num_cities=num_cities, hotels_per_city=5, rooms_per_hotel=6, seed=seed
+        )
+    )
+    return db
+
+
+def build_company_db(num_employees: int, seed: int = 0) -> Database:
+    db = Database(company_schema())
+    db.load_extents(
+        make_company(
+            num_departments=max(2, num_employees // 10),
+            num_employees=num_employees,
+            seed=seed,
+        )
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def travel_db() -> Database:
+    return build_travel_db(num_cities=10, seed=3)
+
+
+@pytest.fixture(scope="module")
+def company_db() -> Database:
+    return build_company_db(num_employees=200, seed=3)

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Regenerate the EXPERIMENTS.md measurement tables in one run.
+
+Usage:  python -m benchmarks.report [--fast]
+
+Prints, per experiment id (see DESIGN.md section 3), the same rows and
+series EXPERIMENTS.md records: the regenerated Table 1, the section 2
+example values, the T2 translation table, the Table 3 derivation and
+rule counts, the F1 pipelining series, the F2 join/point-query series,
+the V1 vector checks and the U1 update timings.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from benchmarks.bench_fig_algebra import _join_executor
+from benchmarks.bench_fig_pipelining import MEMBERSHIP, NESTED_FROM, _setup
+from benchmarks.bench_table3_rules import CORPUS
+from benchmarks.conftest import build_company_db
+from repro.algebra import Executor, Optimizer, build_plan
+from repro.monoids import table1
+from repro.normalize import normalize, normalize_with_trace
+from repro.objects import run_update
+from repro.oql import translate_oql
+from repro.vectors import fft_query
+
+
+def median_time(fn, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def heading(text: str) -> None:
+    print(f"\n## {text}\n")
+
+
+def report_t1() -> None:
+    heading("T1 — Table 1 (regenerated)")
+    rows = table1()
+    widths = {key: max(len(key), max(len(str(r[key])) for r in rows)) for key in rows[0]}
+    print("  " + "  ".join(key.ljust(widths[key]) for key in rows[0]))
+    for row in rows:
+        print("  " + "  ".join(str(row[key]).ljust(widths[key]) for key in row))
+
+
+def report_t3() -> None:
+    heading("T3 — the Portland derivation and corpus rule counts")
+    nested = translate_oql(CORPUS[0])
+    _, trace = normalize_with_trace(nested)
+    print(trace.render())
+    counts: dict[str, int] = {}
+    for query in CORPUS:
+        _, t = normalize_with_trace(translate_oql(query))
+        for rule, n in t.rule_counts().items():
+            counts[rule] = counts.get(rule, 0) + n
+    print("\ncorpus rule counts:", dict(sorted(counts.items())))
+
+
+def report_f1(sizes) -> None:
+    heading("F1 — pipelining (raw / normalized / algebra, ms)")
+    for workload in ("membership", "nested-from"):
+        print(f"  {workload}:")
+        for size in sizes:
+            raw, canonical, evaluator, plan, executor = _setup(workload, size)
+            r = median_time(lambda: evaluator.evaluate(raw))
+            n = median_time(lambda: evaluator.evaluate(canonical))
+            a = median_time(lambda: executor.execute(plan))
+            print(
+                f"    n={size:>4}: raw={r * 1e3:8.2f}  normalized={n * 1e3:8.2f}  "
+                f"algebra={a * 1e3:8.2f}  raw/algebra={r / a:6.1f}x"
+            )
+
+
+def report_f2(sizes) -> None:
+    heading("F2 — join strategies (cross+filter vs hash, ms)")
+    for size in sizes:
+        db = build_company_db(num_employees=size, seed=2)
+        cross_plan, cross_exec = _join_executor(db, use_hash=False)
+        hash_plan, hash_exec = _join_executor(db, use_hash=True)
+        c = median_time(lambda: cross_exec.execute(cross_plan))
+        h = median_time(lambda: hash_exec.execute(hash_plan))
+        print(f"  n={size:>4}: cross={c * 1e3:8.1f}  hash={h * 1e3:8.1f}  ratio={c / h:5.1f}x")
+
+    db = build_company_db(num_employees=2000, seed=2)
+    point = "select distinct d.name from d in Departments where d.dno = 3"
+    term = normalize(db.translate(point))
+    scan_plan = Optimizer(set()).optimize(build_plan(term))
+    db.create_index("Departments", "dno")
+    index_plan = Optimizer(db.catalog.index_keys()).optimize(build_plan(term))
+    executor = Executor(db.evaluator(), db.catalog.index_mappings())
+    s = median_time(lambda: executor.execute(scan_plan), 7)
+    i = median_time(lambda: executor.execute(index_plan), 7)
+    print(f"  point query: scan={s * 1e6:7.0f}us  index={i * 1e6:7.0f}us  ratio={s / i:5.0f}x")
+
+
+def report_v1(sizes) -> None:
+    heading("V1 — FFT as a query vs numpy")
+    for n in sizes:
+        xs = np.random.default_rng(n).normal(size=n).tolist()
+        t = median_time(lambda: fft_query(xs), 3)
+        err = max(abs(m - r) for m, r in zip(fft_query(xs), np.fft.fft(xs)))
+        print(f"  n={n:>4}: {t * 1e3:7.1f} ms   max err vs numpy = {err:.2e}")
+
+
+def report_g1(sizes) -> None:
+    heading("G1 — group-by: nested comprehension vs Nest (ms)")
+    from benchmarks.bench_groupby import QUERY
+
+    for size in sizes:
+        db = build_company_db(num_employees=size, seed=6)
+        interp = median_time(lambda: db.run(QUERY, engine="interpret"), 3)
+        nest = median_time(lambda: db.run(QUERY, engine="algebra"), 3)
+        print(
+            f"  n={size:>4}: interpret={interp * 1e3:9.1f}  nest={nest * 1e3:7.1f}  "
+            f"ratio={interp / nest:6.1f}x"
+        )
+
+
+def report_u1(sizes) -> None:
+    heading("U1 — update program timings")
+    from benchmarks.bench_section4_updates import _insertion_program, _object_db
+
+    for n in sizes:
+        db = _object_db(n)
+        program = _insertion_program("City-1")
+        evaluator = db.evaluator()
+        t = median_time(lambda: run_update(program, evaluator))
+        print(f"  n={n:>5}: {t * 1e3:7.2f} ms")
+
+
+def main(argv=None) -> int:
+    fast = "--fast" in (argv if argv is not None else sys.argv[1:])
+    f1_sizes = (20, 80) if fast else (20, 80, 320)
+    f2_sizes = (50, 200) if fast else (50, 200, 800)
+    v1_sizes = (16, 64) if fast else (16, 64, 256)
+    u1_sizes = (100,) if fast else (100, 1000)
+    g1_sizes = (50,) if fast else (50, 200)
+
+    print("# Reproduction report — Fegaras & Maier, SIGMOD 1995")
+    report_t1()
+    report_t3()
+    report_f1(f1_sizes)
+    report_f2(f2_sizes)
+    report_g1(g1_sizes)
+    report_v1(v1_sizes)
+    report_u1(u1_sizes)
+    print("\n(shapes asserted automatically by `pytest benchmarks/`)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

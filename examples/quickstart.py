@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: the monoid comprehension calculus in five minutes.
+
+Run:  python examples/quickstart.py
+
+Walks the layers bottom-up: monoids -> comprehensions -> OQL ->
+normalization -> algebra plans, printing what each stage produces.
+"""
+
+from repro import (
+    BAG,
+    LIST,
+    SET,
+    SUM,
+    Bag,
+    check_hom_well_formed,
+    comp,
+    const,
+    demo_travel_database,
+    evaluate,
+    gen,
+    hom,
+    normalize_with_trace,
+    table1,
+    to_python,
+    translate_oql,
+    var,
+)
+from repro.calculus import tup
+from repro.errors import WellFormednessError
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    section("1. Monoids (Table 1)")
+    header = f"{'monoid':<10} {'type':<10} {'zero':<6} {'unit(a)':<8} {'merge':<16} C/I"
+    print(header)
+    print("-" * len(header))
+    for row in table1():
+        print(
+            f"{row['monoid']:<10} {row['type']:<10} {row['zero']:<6} "
+            f"{row['unit']:<8} {row['merge']:<16} {row['C/I']}"
+        )
+
+    section("2. Monoid homomorphisms and the C/I restriction")
+    print("hom[list -> sum](identity) [1,2,3]  =", hom(LIST, SUM, lambda a: a, (1, 2, 3)))
+    print("hom[bag -> sum](\\a.1) {{7,7,8}}     =", hom(BAG, SUM, lambda a: 1, Bag([7, 7, 8])))
+    try:
+        check_hom_well_formed(SET, SUM)
+    except WellFormednessError as err:
+        print("hom[set -> sum] rejected:", err)
+
+    section("3. Monoid comprehensions (mixing collection kinds)")
+    join = comp(
+        "set",
+        tup(var("a"), var("b")),
+        [gen("a", const((1, 2, 3))), gen("b", const(Bag([4, 5])))],
+    )
+    print(f"{join}")
+    print("  =", sorted(evaluate(join)))
+
+    section("4. OQL translation (section 3 of the paper)")
+    oql = (
+        "select distinct h.name from c in Cities, h in c.hotels "
+        "where c.name = 'Portland' and h.stars >= 3"
+    )
+    term = translate_oql(oql)
+    print("OQL:     ", oql)
+    print("calculus:", term)
+
+    section("5. Normalization (Table 3)")
+    nested = translate_oql(
+        "select distinct h.name from h in "
+        "(select distinct x from c in Cities, x in c.hotels "
+        " where c.name = 'Portland')"
+    )
+    flat, trace = normalize_with_trace(nested)
+    print(trace.render())
+
+    section("6. A full database run")
+    db = demo_travel_database(num_cities=4, seed=1)
+    result = db.run_detailed(oql)
+    print(result.pipeline_report())
+    print("\nas plain Python:", to_python(result.value))
+
+
+if __name__ == "__main__":
+    main()

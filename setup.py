@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP-517 editable installs (which build a wheel) fail. This shim lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,108 @@
+"""repro — the monoid comprehension calculus of Fegaras & Maier (SIGMOD 1995).
+
+A full reproduction of *Towards an Effective Calculus for Object Query
+Languages*: the monoid framework (Table 1), monoid comprehensions and
+homomorphisms with the static C/I well-formedness restriction, an OQL
+front end with the section 3 translation, the Table 3 normalizer, a
+logical/physical algebra with pipelined execution, vectors and arrays
+as monoids (section 4.1), and object identity/updates (section 4.2).
+
+Quickstart::
+
+    from repro import Database, travel_schema, make_travel_agency
+
+    db = Database(travel_schema())
+    db.load_extents(make_travel_agency(seed=1))
+    names = db.run("select distinct h.name from c in Cities, "
+                   "h in c.hotels where c.name = 'Portland'")
+
+See ``examples/`` for tours of every subsystem.
+"""
+
+from repro.calculus import (
+    Comprehension,
+    parse_calculus,
+    Term,
+    bind,
+    comp,
+    const,
+    filt,
+    gen,
+    pretty,
+    pretty_block,
+    var,
+)
+from repro.db import (
+    Database,
+    QueryResult,
+    company_schema,
+    demo_company_database,
+    demo_travel_database,
+    make_company,
+    make_travel_agency,
+    travel_schema,
+)
+from repro.errors import ReproError
+from repro.eval import Evaluator, evaluate
+from repro.monoids import (
+    BAG,
+    LIST,
+    OSET,
+    SET,
+    STRING,
+    SUM,
+    check_hom_well_formed,
+    hom,
+    table1,
+)
+from repro.normalize import normalize, normalize_with_trace
+from repro.oql import parse, translate_oql
+from repro.types import Schema, TypeChecker
+from repro.values import Bag, OrderedSet, Record, Vector, to_python
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BAG",
+    "Bag",
+    "Comprehension",
+    "Database",
+    "Evaluator",
+    "LIST",
+    "OSET",
+    "OrderedSet",
+    "QueryResult",
+    "Record",
+    "ReproError",
+    "SET",
+    "STRING",
+    "SUM",
+    "Schema",
+    "Term",
+    "TypeChecker",
+    "Vector",
+    "bind",
+    "check_hom_well_formed",
+    "comp",
+    "company_schema",
+    "const",
+    "demo_company_database",
+    "demo_travel_database",
+    "evaluate",
+    "filt",
+    "gen",
+    "hom",
+    "make_company",
+    "make_travel_agency",
+    "normalize",
+    "normalize_with_trace",
+    "parse",
+    "parse_calculus",
+    "pretty",
+    "pretty_block",
+    "table1",
+    "to_python",
+    "translate_oql",
+    "travel_schema",
+    "var",
+]

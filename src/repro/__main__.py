@@ -1,0 +1,8 @@
+"""``python -m repro`` — the interactive OQL shell."""
+
+import sys
+
+from repro.repl import main
+
+if __name__ == "__main__":
+    sys.exit(main())

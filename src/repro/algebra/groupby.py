@@ -1,0 +1,54 @@
+"""Group-by planning through the Nest operator.
+
+The OQL translator renders ``group by`` as nested comprehensions (one
+partition subquery per distinct key), which is the faithful *semantics*
+but evaluates quadratically. This module builds the equivalent
+single-pass plan::
+
+    Reduce set{ head }
+      [Select having]
+        Nest [l1=k1, ...] partition <- bag{ elems }
+          <plan of the from/where clauses>
+
+``build_group_by_plan`` works directly from the OQL syntax tree (the
+calculus form is the reference; integration tests assert both paths
+agree on every group-by query).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ops import Nest, PlanNode, Reduce, SelectOp
+from repro.algebra.translate import build_plan
+from repro.calculus.ast import Comprehension, Const, MonoidRef
+from repro.errors import PlanError
+from repro.oql.ast import Select
+from repro.oql.translate import Translator
+
+
+def build_group_by_plan(select: Select, translator: Translator) -> Reduce:
+    """A Nest-based plan for a ``group by`` select.
+
+    Raises :class:`PlanError` for shapes the operator does not cover
+    (``order by`` on top of grouping); callers fall back to the
+    interpreted calculus form.
+    """
+    if not select.group_by:
+        raise PlanError("build_group_by_plan requires a group_by clause")
+    if select.order_by:
+        raise PlanError("group by + order by falls back to the interpreter")
+
+    base_qualifiers = translator._tr_from_where(select)  # noqa: SLF001 — same layer
+    synthetic = Comprehension(MonoidRef("bag"), Const(0), base_qualifiers)
+    base_plan = build_plan(synthetic, pre_normalize=False).child
+
+    keys = tuple(
+        (item.label, translator.translate(item.key)) for item in select.group_by
+    )
+    part_head = translator._partition_head(select.from_clauses)  # noqa: SLF001
+    plan: PlanNode = Nest(base_plan, keys, "partition", part_head, MonoidRef("bag"))
+
+    if select.having is not None:
+        plan = SelectOp(plan, translator.translate(select.having))
+
+    head = translator.translate(select.head)
+    return Reduce(MonoidRef("set"), head, plan)

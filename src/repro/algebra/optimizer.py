@@ -1,0 +1,339 @@
+"""Heuristic logical-plan optimizer.
+
+Three classic rewrites, each visible in ``explain`` output:
+
+1. **Index selection** — ``Select (v.attr = const) over Scan v <- Extent``
+   becomes an :class:`IndexScan` when a hash index exists on
+   ``(Extent, attr)``.
+2. **Selection pushdown** — selections sink below joins/unnests to the
+   lowest operator that binds their variables (plans built by
+   :func:`repro.algebra.translate.build_plan` are already pushed; this
+   pass re-establishes the property after other rewrites).
+3. **Join key promotion** — residual equality predicates directly above
+   a Join move into its hash keys.
+
+The optimizer is pure: it returns a new plan tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.algebra.ops import (
+    IndexScan,
+    Join,
+    PlanNode,
+    Reduce,
+    Scan,
+    SelectOp,
+    Unnest,
+)
+from repro.algebra.translate import _try_join_keys
+from repro.calculus.ast import BinOp, Const, Proj, Term, Var
+from repro.calculus.traversal import free_vars
+
+
+class Optimizer:
+    """Applies the heuristic rewrites to a logical plan.
+
+    ``extent_sizes`` (element counts per extent) enables the build-side
+    heuristic: hash joins build their table on the smaller input, so a
+    Join whose right (build) side is estimated larger than its left
+    (probe) side is flipped. Flipping reorders the output stream, so it
+    is applied only when the plan's output monoid is commutative.
+    """
+
+    def __init__(
+        self,
+        available_indexes: Optional[set[tuple[str, str]]] = None,
+        extent_sizes: Optional[dict[str, int]] = None,
+    ) -> None:
+        self.available_indexes = available_indexes or set()
+        self.extent_sizes = extent_sizes or {}
+
+    def optimize(self, plan: Reduce) -> Reduce:
+        """Rewrite the plan; the result is executable by the Executor."""
+        child = self._opt(plan.child)
+        if self.extent_sizes and _monoid_is_commutative(plan.monoid):
+            child = self._choose_build_sides(child)
+        return Reduce(plan.monoid, plan.head, child)
+
+    def _choose_build_sides(self, node: PlanNode) -> PlanNode:
+        if isinstance(node, Join):
+            left = self._choose_build_sides(node.left)
+            right = self._choose_build_sides(node.right)
+            join = Join(left, right, node.left_keys, node.right_keys, node.residual)
+            if join.left_keys:
+                left_est = estimate_cardinality(left, self.extent_sizes)
+                right_est = estimate_cardinality(right, self.extent_sizes)
+                if right_est > left_est:
+                    return Join(
+                        right, left, join.right_keys, join.left_keys, join.residual
+                    )
+            return join
+        if isinstance(node, SelectOp):
+            return SelectOp(self._choose_build_sides(node.child), node.pred)
+        if isinstance(node, Unnest):
+            return Unnest(
+                self._choose_build_sides(node.child),
+                node.var,
+                node.path,
+                node.index_var,
+            )
+        return node
+
+    # -- recursive rewrite -------------------------------------------------------
+
+    def _opt(self, node: PlanNode) -> PlanNode:
+        if isinstance(node, SelectOp):
+            child = self._opt(node.child)
+            return self._place_select(child, node.pred)
+        if isinstance(node, Join):
+            return Join(
+                self._opt(node.left),
+                self._opt(node.right),
+                node.left_keys,
+                node.right_keys,
+                node.residual,
+            )
+        if isinstance(node, Unnest):
+            return Unnest(self._opt(node.child), node.var, node.path, node.index_var)
+        return node
+
+    def _place_select(self, child: PlanNode, pred: Term) -> PlanNode:
+        """Sink one selection as deep as its variables allow."""
+        # Index selection on a direct scan.
+        if isinstance(child, Scan):
+            index_scan = self._match_index(child, pred)
+            if index_scan is not None:
+                return index_scan
+            return SelectOp(child, pred)
+        if isinstance(child, SelectOp):
+            placed = self._place_select(child.child, pred)
+            return SelectOp(placed, child.pred)
+        if isinstance(child, Join):
+            needed = free_vars(pred)
+            if needed & child.columns() <= child.left.columns():
+                return Join(
+                    self._place_select(child.left, pred),
+                    child.right,
+                    child.left_keys,
+                    child.right_keys,
+                    child.residual,
+                )
+            if needed & child.columns() <= child.right.columns():
+                return Join(
+                    child.left,
+                    self._place_select(child.right, pred),
+                    child.left_keys,
+                    child.right_keys,
+                    child.residual,
+                )
+            keyed = _try_join_keys(child, pred)
+            if keyed is not None:
+                return keyed
+            return SelectOp(child, pred)
+        if isinstance(child, Unnest):
+            needed = free_vars(pred)
+            inner_cols = child.child.columns()
+            if needed & child.columns() <= inner_cols:
+                return Unnest(
+                    self._place_select(child.child, pred),
+                    child.var,
+                    child.path,
+                    child.index_var,
+                )
+            return SelectOp(child, pred)
+        return SelectOp(child, pred)
+
+    # -- index matching -------------------------------------------------------------
+
+    def _match_index(self, scan: Scan, pred: Term) -> Optional[IndexScan]:
+        """``Scan v <- Extent`` + ``v.attr = const-expr`` -> IndexScan."""
+        if scan.index_var is not None or not isinstance(scan.source, Var):
+            return None
+        extent = scan.source.name
+        match = _equality_on_var(pred, scan.var)
+        if match is None:
+            return None
+        attribute, key = match
+        if (extent, attribute) not in self.available_indexes:
+            return None
+        if scan.var in free_vars(key):
+            return None
+        return IndexScan(scan.var, extent, attribute, key)
+
+
+def _monoid_is_commutative(ref) -> bool:
+    from repro.types.infer import MONOID_PROPS
+
+    name = ref.element.name if ref.is_vector and ref.element is not None else ref.name
+    entry = MONOID_PROPS.get(name)
+    return entry is not None and entry[0]
+
+
+def _equality_on_var(pred: Term, var_name: str) -> Optional[tuple[str, Term]]:
+    """Match ``v.attr = key`` or ``key = v.attr``; return (attr, key)."""
+    if not isinstance(pred, BinOp) or pred.op != "=":
+        return None
+    for attr_side, key_side in ((pred.left, pred.right), (pred.right, pred.left)):
+        if (
+            isinstance(attr_side, Proj)
+            and isinstance(attr_side.base, Var)
+            and attr_side.base.name == var_name
+            and var_name not in free_vars(key_side)
+        ):
+            return attr_side.name, key_side
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimation (used by explain and by benchmarks)
+# ---------------------------------------------------------------------------
+
+#: Default guesses where statistics are unavailable.
+DEFAULT_SELECTIVITY = 0.25
+DEFAULT_FANOUT = 4.0
+DEFAULT_EXTENT_SIZE = 1000.0
+
+
+def estimate_cardinality(
+    node: PlanNode,
+    extent_sizes: Optional[dict[str, int]] = None,
+    stats: Optional[dict] = None,
+) -> float:
+    """Output-cardinality estimate for a plan subtree.
+
+    Without ``stats`` (a :class:`repro.db.stats.ExtentStats` mapping),
+    fixed default selectivities/fan-outs apply; with it, equality
+    selections use ``1/distinct(attr)`` and unnests the measured average
+    fan-out of the navigated attribute.
+    """
+    sizes = extent_sizes or {}
+    var_extents = _scan_var_extents(node)
+    return _estimate(node, sizes, stats or {}, var_extents)
+
+
+def _scan_var_extents(node: PlanNode) -> dict[str, str]:
+    """Map plan variables to the extents their Scan reads, where known."""
+    out: dict[str, str] = {}
+
+    def walk(n: PlanNode) -> None:
+        if isinstance(n, Scan) and isinstance(n.source, Var):
+            out[n.var] = n.source.name
+        elif isinstance(n, IndexScan):
+            out[n.var] = n.extent
+        for child in _plan_children(n):
+            walk(child)
+
+    walk(node)
+    return out
+
+
+def _estimate(
+    node: PlanNode,
+    sizes: dict[str, int],
+    stats: dict,
+    var_extents: dict[str, str],
+) -> float:
+    if isinstance(node, Reduce):
+        return _estimate(node.child, sizes, stats, var_extents)
+    if isinstance(node, Scan):
+        if isinstance(node.source, Var):
+            return float(sizes.get(node.source.name, DEFAULT_EXTENT_SIZE))
+        return DEFAULT_EXTENT_SIZE
+    if isinstance(node, IndexScan):
+        base = float(sizes.get(node.extent, DEFAULT_EXTENT_SIZE))
+        selectivity = _stat_selectivity(stats, node.extent, node.attribute)
+        if selectivity is not None:
+            return max(1.0, base * selectivity)
+        return max(1.0, base * 0.01)
+    if isinstance(node, SelectOp):
+        base = _estimate(node.child, sizes, stats, var_extents)
+        selectivity = _pred_selectivity(node.pred, stats, var_extents)
+        return base * (selectivity if selectivity is not None else DEFAULT_SELECTIVITY)
+    if isinstance(node, Join):
+        left = _estimate(node.left, sizes, stats, var_extents)
+        right = _estimate(node.right, sizes, stats, var_extents)
+        if node.left_keys:
+            return max(left, right)
+        return left * right
+    if isinstance(node, Unnest):
+        base = _estimate(node.child, sizes, stats, var_extents)
+        fanout = _path_fanout(node.path, stats, var_extents)
+        return base * (fanout if fanout is not None else DEFAULT_FANOUT)
+    return DEFAULT_EXTENT_SIZE
+
+
+def _stat_selectivity(stats: dict, extent: str, attribute: str) -> Optional[float]:
+    extent_stats = stats.get(extent)
+    if extent_stats is None:
+        return None
+    attr = extent_stats.attributes.get(attribute)
+    if attr is None or attr.distinct == 0:
+        return None
+    return 1.0 / attr.distinct
+
+
+def _pred_selectivity(
+    pred: Term, stats: dict, var_extents: dict[str, str]
+) -> Optional[float]:
+    """Selectivity of ``v.attr = const`` when statistics know the attr."""
+    if not isinstance(pred, BinOp) or pred.op != "=":
+        return None
+    for side in (pred.left, pred.right):
+        if (
+            isinstance(side, Proj)
+            and isinstance(side.base, Var)
+            and side.base.name in var_extents
+        ):
+            return _stat_selectivity(stats, var_extents[side.base.name], side.name)
+    return None
+
+
+def _path_fanout(
+    path: Term, stats: dict, var_extents: dict[str, str]
+) -> Optional[float]:
+    if (
+        isinstance(path, Proj)
+        and isinstance(path.base, Var)
+        and path.base.name in var_extents
+    ):
+        extent_stats = stats.get(var_extents[path.base.name])
+        if extent_stats is not None:
+            attr = extent_stats.attributes.get(path.name)
+            if attr is not None and attr.avg_fanout is not None:
+                return attr.avg_fanout
+    return None
+
+
+def explain(
+    plan: Reduce,
+    extent_sizes: Optional[dict[str, int]] = None,
+    stats: Optional[dict] = None,
+) -> str:
+    """Readable plan rendering with cardinality estimates per node."""
+    lines: list[str] = []
+
+    def walk(node: PlanNode, indent: int) -> None:
+        pad = "  " * indent
+        est = estimate_cardinality(node, extent_sizes, stats)
+        label = node.render(0).splitlines()[0]
+        lines.append(f"{pad}{label}   ~{est:.0f} rows")
+        for child in _plan_children(node):
+            walk(child, indent + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)
+
+
+def _plan_children(node: PlanNode) -> tuple[PlanNode, ...]:
+    if isinstance(node, Reduce):
+        return (node.child,)
+    if isinstance(node, SelectOp):
+        return (node.child,)
+    if isinstance(node, Join):
+        return (node.left, node.right)
+    if isinstance(node, Unnest):
+        return (node.child,)
+    return ()

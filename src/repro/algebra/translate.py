@@ -1,0 +1,238 @@
+"""Canonical comprehension -> logical algebra plan.
+
+The translation follows the paper's evaluation sketch: generators
+become a left-deep chain — :class:`Scan` / :class:`Join` for
+independent sources, :class:`Unnest` for path-dependent ones —
+predicates are pushed to the earliest operator where their variables
+are bound (with conjunctive equalities across a Join recognized as
+hash keys), and the comprehension's monoid/head become the final
+:class:`Reduce`.
+
+Terms that are not canonical are normalized first; anything the
+rewrite rules could not flatten (e.g. a ``bag`` comprehension over a
+``set`` subquery, which must stay nested for correctness) simply
+remains an opaque source term that the physical layer evaluates with
+the reference evaluator — plans degrade gracefully instead of
+rejecting queries.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.ast import (
+    Bind,
+    BinOp,
+    Comprehension,
+    Filter,
+    Generator,
+    Term,
+)
+from repro.calculus.traversal import free_vars, has_effects
+from repro.errors import PlanError
+from repro.normalize.engine import normalize
+from repro.normalize.rules import PLANNING_RULES
+from repro.algebra.ops import Join, PlanNode, Reduce, Scan, SelectOp, Unnest
+
+
+def build_plan(term: Term, pre_normalize: bool = True) -> Reduce:
+    """Build a logical plan for a comprehension term.
+
+    >>> from repro.oql import translate_oql
+    >>> plan = build_plan(translate_oql(
+    ...     "select distinct c.name from c in Cities where c.zip = 97201"))
+    >>> print(plan.render())
+    Reduce set{ c.name }
+      Select (c.zip = 97201)
+        Scan c <- Cities
+    """
+    if pre_normalize:
+        term = normalize(term, rules=PLANNING_RULES)
+    if not isinstance(term, Comprehension):
+        degenerate = _degenerate_plan(term)
+        if degenerate is not None:
+            return degenerate
+        raise PlanError(
+            f"only comprehensions have algebra plans, got {type(term).__name__}"
+        )
+    if has_effects(term):
+        raise PlanError("effectful comprehensions (new/:=/+=) are not plannable")
+    return _build(term)
+
+
+def _build(comp: Comprehension) -> Reduce:
+    plan: PlanNode | None = None
+    bound: set[str] = set()
+    all_vars = _generator_vars(comp)
+    # Plannable comprehensions are pure (checked above), so predicates can
+    # be hoisted ahead of their source position and attached at the first
+    # operator that binds their variables — build-time pushdown.
+    pending: list[Term] = [
+        qual.pred for qual in comp.qualifiers if isinstance(qual, Filter)
+    ]
+
+    for qual in comp.qualifiers:
+        if isinstance(qual, Generator):
+            plan = _add_generator(plan, qual, bound)
+            bound.add(qual.var)
+            if qual.index_var is not None:
+                bound.add(qual.index_var)
+            plan, pending = _attach_ready(plan, pending, bound, all_vars)
+        elif isinstance(qual, Bind):
+            # Canonical forms have no bindings; a leftover Bind (kept by a
+            # purity guard) is treated as a dependent singleton generator.
+            plan = _add_bind(plan, qual)
+            bound.add(qual.var)
+            plan, pending = _attach_ready(plan, pending, bound, all_vars)
+
+    if pending:
+        if plan is None:
+            # Predicates with no generators guard the whole comprehension.
+            plan = Scan("_unit", _unit_source())
+            for pred in pending:
+                plan = SelectOp(plan, pred)
+            pending = []
+        else:  # pragma: no cover - _attach_ready drains everything bindable
+            for pred in pending:
+                plan = SelectOp(plan, pred)
+    if plan is None:
+        plan = Scan("_unit", _unit_source())
+    return Reduce(comp.monoid, comp.head, plan)
+
+
+def _unit_source() -> Term:
+    from repro.calculus.ast import Const
+
+    return Const((None,))
+
+
+def _degenerate_plan(term: Term) -> Reduce | None:
+    """Plans for terms normalization collapsed below comprehension level.
+
+    ``zero(M)`` becomes a Reduce over zero rows (which yields ``zero(M)``)
+    and ``unit(M)(e)`` a Reduce over exactly one row with head ``e``.
+    """
+    from repro.calculus.ast import Const, Empty as EmptyTerm, Singleton
+
+    if isinstance(term, EmptyTerm):
+        return Reduce(term.monoid, Const(None), Scan("_unit", Const(())))
+    if isinstance(term, Singleton) and term.index is None:
+        return Reduce(term.monoid, term.element, Scan("_unit", _unit_source()))
+    return None
+
+
+def _generator_vars(comp: Comprehension) -> frozenset[str]:
+    out: set[str] = set()
+    for qual in comp.qualifiers:
+        if isinstance(qual, Generator):
+            out.add(qual.var)
+            if qual.index_var is not None:
+                out.add(qual.index_var)
+        elif isinstance(qual, Bind):
+            out.add(qual.var)
+    return frozenset(out)
+
+
+def _add_generator(
+    plan: PlanNode | None, qual: Generator, bound: set[str]
+) -> PlanNode:
+    deps = free_vars(qual.source) & bound
+    if deps:
+        if plan is None:
+            raise PlanError(
+                f"generator {qual.var} depends on unbound variables {sorted(deps)}"
+            )
+        return Unnest(plan, qual.var, qual.source, qual.index_var)
+    scan = Scan(qual.var, qual.source, qual.index_var)
+    if plan is None:
+        return scan
+    return Join(plan, scan)
+
+
+def _add_bind(plan: PlanNode | None, qual: Bind) -> PlanNode:
+    from repro.calculus.ast import MonoidRef, Singleton
+
+    singleton = Singleton(MonoidRef("list"), qual.value)
+    if plan is None:
+        return Scan(qual.var, singleton)
+    return Unnest(plan, qual.var, singleton)
+
+
+def _attach_ready(
+    plan: PlanNode | None,
+    pending: list[Term],
+    bound: set[str],
+    all_vars: frozenset[str],
+) -> tuple[PlanNode | None, list[Term]]:
+    """Attach every pending predicate whose plan variables are bound."""
+    remaining: list[Term] = []
+    for pred in pending:
+        needed = free_vars(pred) & all_vars
+        if plan is not None and needed <= bound:
+            plan = _attach(plan, pred)
+        else:
+            remaining.append(pred)
+    return plan, remaining
+
+
+def _attach(plan: PlanNode, pred: Term) -> PlanNode:
+    """Attach one predicate as deep as its variables allow.
+
+    Predicates local to one join input sink into it; equalities across
+    both inputs become hash keys; everything else becomes a selection at
+    this level.
+    """
+    if isinstance(plan, SelectOp):
+        return SelectOp(_attach(plan.child, pred), plan.pred)
+    if isinstance(plan, Join):
+        needed = free_vars(pred) & plan.columns()
+        if needed and needed <= plan.left.columns():
+            return Join(
+                _attach(plan.left, pred),
+                plan.right,
+                plan.left_keys,
+                plan.right_keys,
+                plan.residual,
+            )
+        if needed and needed <= plan.right.columns():
+            return Join(
+                plan.left,
+                _attach(plan.right, pred),
+                plan.left_keys,
+                plan.right_keys,
+                plan.residual,
+            )
+        keyed = _try_join_keys(plan, pred)
+        if keyed is not None:
+            return keyed
+        return SelectOp(plan, pred)
+    if isinstance(plan, Unnest):
+        needed = free_vars(pred) & plan.columns()
+        if needed and needed <= plan.child.columns():
+            return Unnest(
+                _attach(plan.child, pred), plan.var, plan.path, plan.index_var
+            )
+        return SelectOp(plan, pred)
+    return SelectOp(plan, pred)
+
+
+def _try_join_keys(join: Join, pred: Term) -> Join | None:
+    """Recognize ``l = r`` with each side local to one join input."""
+    if not isinstance(pred, BinOp) or pred.op != "=":
+        return None
+    left_cols = join.left.columns()
+    right_cols = join.right.columns()
+    lv = free_vars(pred.left)
+    rv = free_vars(pred.right)
+    left_term, right_term = None, None
+    if lv & left_cols and not lv & right_cols and rv & right_cols and not rv & left_cols:
+        left_term, right_term = pred.left, pred.right
+    elif lv & right_cols and not lv & left_cols and rv & left_cols and not rv & right_cols:
+        left_term, right_term = pred.right, pred.left
+    if left_term is None:
+        return None
+    return Join(
+        join.left,
+        join.right,
+        join.left_keys + (left_term,),
+        join.right_keys + (right_term,),
+        join.residual,
+    )

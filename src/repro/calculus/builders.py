@@ -1,0 +1,292 @@
+"""Ergonomic constructors for calculus terms.
+
+Writing raw dataclass constructors is verbose; these helpers let tests,
+examples and the OQL translator build terms close to the paper's
+notation:
+
+>>> q = comp("set", tup(var("a"), var("b")),
+...          [gen("a", const((1, 2, 3))), gen("b", const((4, 5)))])
+>>> str(q)
+'set{ (a, b) | a <- (1, 2, 3), b <- (4, 5) }'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Union
+
+from repro.calculus.ast import (
+    Apply,
+    Assign,
+    Bind,
+    BinOp,
+    Call,
+    Comprehension,
+    Const,
+    Deref,
+    Empty,
+    Filter,
+    Generator,
+    Hom,
+    If,
+    Index,
+    Lambda,
+    Let,
+    Merge,
+    MethodCall,
+    MonoidRef,
+    New,
+    Proj,
+    Qualifier,
+    RecordCons,
+    Singleton,
+    Term,
+    TupleCons,
+    UnOp,
+    Update,
+    Var,
+)
+
+TermLike = Union[Term, int, float, bool, str, None, tuple, frozenset]
+
+
+def as_term(value: TermLike) -> Term:
+    """Coerce a Python literal into a term; terms pass through."""
+    if isinstance(value, Term):
+        return value
+    return Const(value)
+
+
+def const(value: Any) -> Const:
+    """A literal term."""
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """A variable occurrence."""
+    return Var(name)
+
+
+def lam(param: str, body: TermLike) -> Lambda:
+    """``\\param. body``."""
+    return Lambda(param, as_term(body))
+
+
+def apply(fn: TermLike, arg: TermLike) -> Apply:
+    return Apply(as_term(fn), as_term(arg))
+
+
+def let(name: str, value: TermLike, body: TermLike) -> Let:
+    return Let(name, as_term(value), as_term(body))
+
+
+def rec(**fields: TermLike) -> RecordCons:
+    """``<name=value, ...>``."""
+    return RecordCons(tuple((k, as_term(v)) for k, v in fields.items()))
+
+
+def tup(*items: TermLike) -> TupleCons:
+    """``(e1, ..., en)``."""
+    return TupleCons(tuple(as_term(i) for i in items))
+
+
+def proj(base: TermLike, *names: str) -> Term:
+    """``base.n1.n2...`` — a path expression."""
+    term = as_term(base)
+    for name in names:
+        term = Proj(term, name)
+    return term
+
+
+def path(*parts: str) -> Term:
+    """``v.f1.f2...`` from dotted names; first part is a variable."""
+    term: Term = Var(parts[0])
+    for name in parts[1:]:
+        term = Proj(term, name)
+    return term
+
+
+def index(base: TermLike, idx: TermLike) -> Index:
+    return Index(as_term(base), as_term(idx))
+
+
+def binop(op: str, left: TermLike, right: TermLike) -> BinOp:
+    return BinOp(op, as_term(left), as_term(right))
+
+
+def eq(left: TermLike, right: TermLike) -> BinOp:
+    return binop("=", left, right)
+
+
+def ne(left: TermLike, right: TermLike) -> BinOp:
+    return binop("!=", left, right)
+
+
+def lt(left: TermLike, right: TermLike) -> BinOp:
+    return binop("<", left, right)
+
+
+def le(left: TermLike, right: TermLike) -> BinOp:
+    return binop("<=", left, right)
+
+
+def gt(left: TermLike, right: TermLike) -> BinOp:
+    return binop(">", left, right)
+
+
+def ge(left: TermLike, right: TermLike) -> BinOp:
+    return binop(">=", left, right)
+
+
+def add(left: TermLike, right: TermLike) -> BinOp:
+    return binop("+", left, right)
+
+
+def sub(left: TermLike, right: TermLike) -> BinOp:
+    return binop("-", left, right)
+
+
+def mul(left: TermLike, right: TermLike) -> BinOp:
+    return binop("*", left, right)
+
+
+def div(left: TermLike, right: TermLike) -> BinOp:
+    return binop("/", left, right)
+
+
+def and_(left: TermLike, right: TermLike) -> BinOp:
+    return binop("and", left, right)
+
+
+def or_(left: TermLike, right: TermLike) -> BinOp:
+    return binop("or", left, right)
+
+
+def in_(left: TermLike, right: TermLike) -> BinOp:
+    """OQL-style membership; the translator expands it to ``some{...}``."""
+    return binop("in", left, right)
+
+
+def not_(operand: TermLike) -> UnOp:
+    return UnOp("not", as_term(operand))
+
+
+def neg(operand: TermLike) -> UnOp:
+    return UnOp("-", as_term(operand))
+
+
+def if_(cond: TermLike, then: TermLike, els: TermLike) -> If:
+    return If(as_term(cond), as_term(then), as_term(els))
+
+
+def mref(name: str, key: Term | None = None) -> MonoidRef:
+    """A monoid reference by name, optionally with a ``sorted`` key."""
+    return MonoidRef(name, key=key)
+
+
+def vec_ref(element: str | MonoidRef, size: TermLike) -> MonoidRef:
+    """``M[n]`` — a vector monoid reference."""
+    element_ref = element if isinstance(element, MonoidRef) else MonoidRef(element)
+    return MonoidRef("vec", element=element_ref, size=as_term(size))
+
+
+def zero(monoid: str | MonoidRef) -> Empty:
+    return Empty(_as_ref(monoid))
+
+
+def unit(monoid: str | MonoidRef, element: TermLike, at: TermLike | None = None) -> Singleton:
+    return Singleton(
+        _as_ref(monoid), as_term(element), as_term(at) if at is not None else None
+    )
+
+
+def merge(monoid: str | MonoidRef, left: TermLike, right: TermLike) -> Merge:
+    return Merge(_as_ref(monoid), as_term(left), as_term(right))
+
+
+def gen(var_name: str, source: TermLike, at: str | None = None) -> Generator:
+    """Generator qualifier ``var <- source`` or ``var[at] <- source``."""
+    return Generator(var_name, as_term(source), index_var=at)
+
+
+def filt(pred: TermLike) -> Filter:
+    """Predicate qualifier."""
+    return Filter(as_term(pred))
+
+
+def bind(var_name: str, value: TermLike) -> Bind:
+    """Binding qualifier ``var == value``."""
+    return Bind(var_name, as_term(value))
+
+
+def _as_qualifier(item: Union[Qualifier, TermLike]) -> Qualifier:
+    if isinstance(item, (Generator, Filter, Bind)):
+        return item
+    return Filter(as_term(item))
+
+
+def comp(
+    monoid: str | MonoidRef,
+    head: TermLike,
+    qualifiers: Sequence[Union[Qualifier, TermLike]] = (),
+) -> Comprehension:
+    """``M{ head | qualifiers }``; bare terms become predicates.
+
+    >>> str(comp("sum", var("a"), [gen("a", const((1, 2, 3))), le(var("a"), 2)]))
+    'sum{ a | a <- (1, 2, 3), (a <= 2) }'
+    """
+    return Comprehension(
+        _as_ref(monoid),
+        as_term(head),
+        tuple(_as_qualifier(q) for q in qualifiers),
+    )
+
+
+def hom(
+    source: str | MonoidRef,
+    target: str | MonoidRef,
+    var_name: str,
+    body: TermLike,
+    arg: TermLike,
+) -> Hom:
+    """Explicit homomorphism ``hom[source -> target](\\var. body)(arg)``."""
+    return Hom(_as_ref(source), _as_ref(target), var_name, as_term(body), as_term(arg))
+
+
+def call(name: str, *args: TermLike) -> Call:
+    return Call(name, tuple(as_term(a) for a in args))
+
+
+def method(base: TermLike, name: str, *args: TermLike) -> MethodCall:
+    return MethodCall(as_term(base), name, tuple(as_term(a) for a in args))
+
+
+def new(state: TermLike) -> New:
+    """``new(state)`` — section 4.2 object creation."""
+    return New(as_term(state))
+
+
+def deref(target: TermLike) -> Deref:
+    """``!target``."""
+    return Deref(as_term(target))
+
+
+def assign(target: TermLike, value: TermLike) -> Assign:
+    """``target := value``."""
+    return Assign(as_term(target), as_term(value))
+
+
+def update(base: TermLike, field_name: str, op: str, value: TermLike) -> Update:
+    """``base.field op= value`` with op ``:=`` or ``+=``."""
+    return Update(as_term(base), field_name, op, as_term(value))
+
+
+def conjunction(preds: Iterable[Term]) -> Term:
+    """Fold predicates with ``and``; empty input yields ``true``."""
+    result: Term | None = None
+    for pred in preds:
+        result = pred if result is None else BinOp("and", result, pred)
+    return result if result is not None else Const(True)
+
+
+def _as_ref(monoid: str | MonoidRef) -> MonoidRef:
+    return monoid if isinstance(monoid, MonoidRef) else MonoidRef(monoid)

@@ -1,0 +1,64 @@
+"""Pretty printer producing the paper's comprehension notation.
+
+``pretty(term)`` renders compactly on one line (the dataclasses'
+``__str__`` delegates here implicitly via their own formatting);
+``pretty_block`` renders large comprehensions with indentation for
+explain output and documentation.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.ast import (
+    Bind,
+    Comprehension,
+    Filter,
+    Generator,
+    Term,
+)
+
+
+def pretty(term: Term) -> str:
+    """Single-line rendering in the paper's notation."""
+    return str(term)
+
+
+def pretty_block(term: Term, indent: int = 0) -> str:
+    """Multi-line rendering: one qualifier per line for comprehensions.
+
+    >>> from repro.calculus.builders import comp, gen, var, eq
+    >>> print(pretty_block(comp("set", var("x"),
+    ...     [gen("x", var("db")), eq(var("x"), 1)])))
+    set{ x |
+      x <- db,
+      (x = 1)
+    }
+    """
+    pad = " " * indent
+    if not isinstance(term, Comprehension) or not term.qualifiers:
+        return pad + str(term)
+    lines = [f"{pad}{term.monoid}{{ {term.head} |"]
+    inner = " " * (indent + 2)
+    rendered = []
+    for qual in term.qualifiers:
+        if isinstance(qual, Generator) and isinstance(qual.source, Comprehension):
+            source = pretty_block(qual.source, indent + 4).lstrip()
+            if qual.index_var is not None:
+                rendered.append(f"{inner}{qual.var}[{qual.index_var}] <- {source}")
+            else:
+                rendered.append(f"{inner}{qual.var} <- {source}")
+        else:
+            rendered.append(f"{inner}{qual}")
+    lines.append(",\n".join(rendered))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def describe_qualifier(qual) -> str:
+    """A short tag for a qualifier's kind (used by traces and tests)."""
+    if isinstance(qual, Generator):
+        return "generator"
+    if isinstance(qual, Bind):
+        return "binding"
+    if isinstance(qual, Filter):
+        return "predicate"
+    return type(qual).__name__

@@ -1,0 +1,51 @@
+"""Database facade, catalog, indexes and sample data."""
+
+from repro.db.catalog import Catalog
+from repro.db.database import (
+    Database,
+    QueryResult,
+    demo_company_database,
+    demo_travel_database,
+)
+from repro.db.index import HashIndex
+from repro.db.persist import (
+    dump_database,
+    load_database,
+    restore_database,
+    save_database,
+)
+from repro.db.stats import (
+    AttributeStats,
+    ExtentStats,
+    StatisticsCollector,
+    fanout_of,
+    selectivity_of,
+)
+from repro.db.sample_data import (
+    company_schema,
+    make_company,
+    make_travel_agency,
+    travel_schema,
+)
+
+__all__ = [
+    "AttributeStats",
+    "Catalog",
+    "ExtentStats",
+    "StatisticsCollector",
+    "fanout_of",
+    "selectivity_of",
+    "Database",
+    "HashIndex",
+    "QueryResult",
+    "company_schema",
+    "demo_company_database",
+    "dump_database",
+    "load_database",
+    "restore_database",
+    "save_database",
+    "demo_travel_database",
+    "make_company",
+    "make_travel_agency",
+    "travel_schema",
+]

@@ -1,0 +1,341 @@
+"""The database facade: the whole paper as one object.
+
+:class:`Database` wires every layer together::
+
+    OQL text --parse--> OQL AST --translate--> calculus term
+        --typecheck--> (C/I well-formedness)
+        --normalize--> canonical comprehension
+        --plan------> logical algebra --optimize--> physical plan
+        --execute---> result (pipelined)
+
+``run`` returns just the value; ``run_detailed`` returns every
+intermediate artifact (the translated term, the normalization trace,
+the optimized plan, executor statistics), which the examples and the
+benchmark harness print. An ``engine="interpret"`` escape hatch runs
+the normalized term on the reference evaluator instead of the algebra
+— the two paths are cross-checked in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Literal, Optional
+
+from repro.algebra.ops import Reduce
+from repro.algebra.optimizer import Optimizer, explain as explain_plan
+from repro.algebra.physical import ExecutionStats, Executor
+from repro.algebra.translate import build_plan
+from repro.calculus.ast import Comprehension, Term
+from repro.db.catalog import Catalog
+from repro.db.sample_data import (
+    company_schema,
+    make_company,
+    make_travel_agency,
+    travel_schema,
+)
+from repro.errors import DatabaseError, PlanError
+from repro.eval.evaluator import Evaluator
+from repro.monoids import BAG, LIST, SET
+from repro.normalize.engine import normalize_with_trace
+from repro.normalize.trace import NormalizationTrace
+from repro.objects.classes import ExtentRegistry
+from repro.objects.store import ObjectStore
+from repro.oql.parser import parse
+from repro.oql.translate import Translator
+from repro.types.infer import TypeChecker
+from repro.types.schema import Schema
+from repro.values import Bag, Record
+
+
+@dataclass
+class QueryResult:
+    """Everything produced while answering one query."""
+
+    oql: str
+    calculus: Term
+    normalized: Term
+    trace: NormalizationTrace
+    plan: Optional[Reduce]
+    value: Any
+    stats: Optional[ExecutionStats] = None
+    engine: str = "algebra"
+
+    def pipeline_report(self) -> str:
+        """A printable record of every pipeline stage."""
+        lines = [
+            f"OQL:        {self.oql.strip()}",
+            f"calculus:   {self.calculus}",
+            f"normalized: {self.normalized}",
+            f"rules:      {', '.join(self.trace.rules_fired()) or '(already canonical)'}",
+            f"engine:     {self.engine}",
+        ]
+        if self.plan is not None:
+            lines.append("plan:")
+            lines.extend("  " + l for l in self.plan.render().splitlines())
+        if self.stats is not None:
+            lines.append(f"stats:      {self.stats.as_dict()}")
+        lines.append(f"value:      {self.value!r}")
+        return "\n".join(lines)
+
+
+class Database:
+    """An in-memory OQL database over the monoid calculus.
+
+    >>> db = Database(travel_schema())
+    >>> db.load_extents(make_travel_agency(num_cities=3, seed=1))
+    >>> isinstance(db.run("count(select h.name from c in Cities, "
+    ...                   "h in c.hotels)"), int)
+    True
+    """
+
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self.schema = schema if schema is not None else Schema()
+        self.catalog = Catalog()
+        self.store = ObjectStore()
+        self.registry = ExtentRegistry(self.schema, self.store)
+        self.functions: dict[str, Any] = {}
+        self._object_extents: set[str] = set()
+        self._views: dict[str, Term] = {}
+        self._stats: dict[str, Any] = {}
+
+    # -- loading ----------------------------------------------------------------
+
+    def load_extent(
+        self,
+        name: str,
+        rows: Any,
+        monoid: str = "set",
+        replace: bool = False,
+    ) -> None:
+        """Load an extent from an iterable of dicts/records.
+
+        ``monoid`` chooses the carrier: ``set`` (default), ``bag`` or
+        ``list``. Already-built collections (frozenset, Bag, tuple)
+        pass through unchanged.
+        """
+        if isinstance(rows, (frozenset, Bag, tuple)):
+            collection = rows
+        else:
+            converted = [_to_record(row) for row in rows]
+            if monoid == "set":
+                collection = SET.from_iterable(converted)
+            elif monoid == "bag":
+                collection = BAG.from_iterable(converted)
+            elif monoid == "list":
+                collection = LIST.from_iterable(converted)
+            else:
+                raise DatabaseError(f"extent monoid must be set/bag/list, got {monoid!r}")
+        self.catalog.register_extent(name, collection, replace=replace)
+
+    def load_extents(self, extents: dict[str, Any], replace: bool = False) -> None:
+        """Load several extents (e.g. a sample-data dictionary)."""
+        for name, collection in extents.items():
+            self.load_extent(name, collection, replace=replace)
+
+    def load_objects(self, extent: str, class_name: str, rows: Any) -> None:
+        """Load an extent in *object mode*: rows become OIDs (section 4.2).
+
+        Queries navigate the objects transparently (paths dereference);
+        update programs may mutate them in place.
+        """
+        if not self.schema.has_class(class_name):
+            raise DatabaseError(f"unknown class {class_name!r} for object extent")
+        for row in rows:
+            record = _to_record(row)
+            self.registry.create(class_name, dict(record))
+        self._object_extents.add(extent)
+
+    def create_index(self, extent: str, attribute: str) -> None:
+        """Build a hash index usable by the optimizer."""
+        self.catalog.create_index(extent, attribute, self.store)
+
+    def register_function(self, name: str, fn: Any) -> None:
+        """Expose a Python function to OQL queries."""
+        self.functions[name] = fn
+
+    # -- core pipeline -----------------------------------------------------------------
+
+    def evaluator(self) -> Evaluator:
+        """A fresh evaluator bound to the current extents and schema."""
+        bindings: dict[str, Any] = dict(self.catalog.extents())
+        for extent in self._object_extents:
+            bindings[extent] = self.registry.extent(extent)
+        return Evaluator(
+            bindings,
+            functions=self.functions,
+            methods=self.schema.all_methods(),
+            store=self.store,
+        )
+
+    def define(self, name: str, oql: str) -> Term:
+        """Define a named query (an ODMG ``define name as query`` view).
+
+        Views are pure macro expansion into the calculus: any later
+        query mentioning ``name`` has the view's term substituted in,
+        and normalization then fuses the view body into the query —
+        views cost nothing at run time. Views may reference previously
+        defined views.
+        """
+        if self.catalog.has_extent(name) or name in self._object_extents:
+            raise DatabaseError(f"cannot define view {name!r}: extent exists")
+        term = self.translate(oql)
+        self._views[name] = term
+        return term
+
+    def translate(self, oql: str) -> Term:
+        """OQL text -> calculus term with views expanded."""
+        from repro.calculus.traversal import substitute_many
+
+        term = Translator(self.schema).translate(parse(oql))
+        if self._views:
+            term = substitute_many(term, dict(self._views))
+        return term
+
+    def typecheck(self, term: Term) -> None:
+        """Run the static checker (C/I restriction and type errors)."""
+        TypeChecker(self.schema).check(term, self._extent_types())
+
+    def run(
+        self,
+        oql: str,
+        engine: Literal["auto", "algebra", "interpret"] = "auto",
+        typecheck: bool = False,
+    ) -> Any:
+        """Answer an OQL query; returns just the value."""
+        return self.run_detailed(oql, engine=engine, typecheck=typecheck).value
+
+    def run_detailed(
+        self,
+        oql: str,
+        engine: Literal["auto", "algebra", "interpret"] = "auto",
+        typecheck: bool = False,
+    ) -> QueryResult:
+        """Answer an OQL query, keeping every intermediate artifact."""
+        calculus = self.translate(oql)
+        if typecheck:
+            self.typecheck(calculus)
+        normalized, trace = normalize_with_trace(calculus)
+        evaluator = self.evaluator()
+
+        plan: Optional[Reduce] = None
+        stats: Optional[ExecutionStats] = None
+        used_engine = "interpret"
+
+        if engine in ("auto", "algebra") and not self._views:
+            nest_result = self._try_group_by_plan(oql, evaluator)
+            if nest_result is not None:
+                plan, value, stats = nest_result
+                return QueryResult(
+                    oql, calculus, normalized, trace, plan, value, stats, "algebra"
+                )
+        if engine in ("auto", "algebra") and isinstance(normalized, Comprehension):
+            try:
+                # Re-normalize with the planning rule set (no merge splits),
+                # which keeps the term a single plannable comprehension.
+                plan = self._optimize(build_plan(normalized, pre_normalize=True))
+                executor = Executor(evaluator, self.catalog.index_mappings())
+                value = executor.execute(plan)
+                stats = executor.stats
+                used_engine = "algebra"
+                return QueryResult(
+                    oql, calculus, normalized, trace, plan, value, stats, used_engine
+                )
+            except PlanError:
+                if engine == "algebra":
+                    raise
+        value = evaluator.evaluate(normalized)
+        return QueryResult(
+            oql, calculus, normalized, trace, plan, value, stats, used_engine
+        )
+
+    def _try_group_by_plan(
+        self, oql: str, evaluator: Evaluator
+    ) -> Optional[tuple[Reduce, Any, ExecutionStats]]:
+        """A single-pass Nest plan for group-by selects (see
+        :mod:`repro.algebra.groupby`); None when the shape doesn't apply."""
+        from repro.algebra.groupby import build_group_by_plan
+        from repro.oql.ast import Select
+
+        node = parse(oql)
+        if not isinstance(node, Select) or not node.group_by:
+            return None
+        try:
+            plan = build_group_by_plan(node, Translator(self.schema))
+            executor = Executor(evaluator, self.catalog.index_mappings())
+            value = executor.execute(plan)
+            return plan, value, executor.stats
+        except PlanError:
+            return None
+
+    def run_calculus(self, term: Term) -> Any:
+        """Evaluate a hand-built calculus term against this database."""
+        return self.evaluator().evaluate(term)
+
+    def analyze(self) -> dict[str, Any]:
+        """Collect per-extent/attribute statistics for the cost model.
+
+        After ``analyze()``, ``explain`` uses measured equality
+        selectivities (``1/distinct``) and collection fan-outs instead
+        of fixed defaults. Re-run after reloading extents.
+        """
+        from repro.db.stats import StatisticsCollector
+
+        self._stats = StatisticsCollector(self.catalog, self.store).collect()
+        return self._stats
+
+    def explain(self, oql: str) -> str:
+        """The optimized plan with cardinality estimates."""
+        normalized, _ = normalize_with_trace(self.translate(oql))
+        if not isinstance(normalized, Comprehension):
+            return f"(not a comprehension: {normalized})"
+        plan = self._optimize(build_plan(normalized, pre_normalize=True))
+        return explain_plan(plan, self.catalog.extent_sizes(), self._stats)
+
+    def _optimize(self, plan: Reduce) -> Reduce:
+        return Optimizer(
+            self.catalog.index_keys(), self.catalog.extent_sizes()
+        ).optimize(plan)
+
+    def _extent_types(self) -> dict[str, Any]:
+        types = {}
+        for extent in self.schema.extents():
+            types[extent] = self.schema.extent_type(extent)
+        return types
+
+
+def _to_record(row: Any) -> Any:
+    """Deep-convert a dict row into an immutable Record value."""
+    if isinstance(row, Record):
+        return row
+    if isinstance(row, dict):
+        return Record({k: _to_record(v) for k, v in row.items()})
+    if isinstance(row, list):
+        return tuple(_to_record(v) for v in row)
+    if isinstance(row, set):
+        return frozenset(_to_record(v) for v in row)
+    return row
+
+
+def demo_travel_database(
+    num_cities: int = 8,
+    hotels_per_city: int = 4,
+    rooms_per_hotel: int = 6,
+    seed: int = 0,
+) -> Database:
+    """A ready-to-query travel-agency database (the paper's examples)."""
+    db = Database(travel_schema())
+    db.load_extents(
+        make_travel_agency(num_cities, hotels_per_city, rooms_per_hotel, seed)
+    )
+    return db
+
+
+def demo_company_database(
+    num_departments: int = 10,
+    num_employees: int = 100,
+    seed: int = 0,
+) -> Database:
+    """A ready-to-query company database (join benchmarks)."""
+    db = Database(company_schema())
+    db.load_extents(make_company(num_departments, num_employees, seed))
+    return db

@@ -1,0 +1,74 @@
+"""Hash indexes over extents.
+
+A :class:`HashIndex` maps an attribute value to the list of extent
+elements carrying it. The optimizer turns ``Scan + Select(attr = const)``
+into an :class:`repro.algebra.ops.IndexScan` when an index exists; the
+executor then probes these structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import DatabaseError
+from repro.objects.store import Obj, ObjectStore
+from repro.values import Record
+
+
+class HashIndex:
+    """An equality index on one attribute of an extent.
+
+    >>> rows = [Record(name="a", k=1), Record(name="b", k=2), Record(name="c", k=1)]
+    >>> idx = HashIndex.build("rows", "k", rows)
+    >>> sorted(r.name for r in idx.lookup(1))
+    ['a', 'c']
+    >>> idx.lookup(9)
+    []
+    """
+
+    def __init__(self, extent: str, attribute: str) -> None:
+        self.extent = extent
+        self.attribute = attribute
+        self._buckets: dict[Any, list[Any]] = {}
+
+    @classmethod
+    def build(
+        cls,
+        extent: str,
+        attribute: str,
+        elements: Iterable[Any],
+        store: ObjectStore | None = None,
+    ) -> "HashIndex":
+        """Index ``elements`` by ``attribute`` (dereferencing objects)."""
+        index = cls(extent, attribute)
+        for element in elements:
+            index.insert(element, store)
+        return index
+
+    def insert(self, element: Any, store: ObjectStore | None = None) -> None:
+        record = element
+        if isinstance(record, Obj):
+            if store is None:
+                raise DatabaseError("indexing objects requires the object store")
+            record = store.deref(record)
+        if not isinstance(record, Record):
+            raise DatabaseError(
+                f"index on {self.extent}.{self.attribute}: elements must be "
+                f"records, got {type(element).__name__}"
+            )
+        if self.attribute not in record:
+            raise DatabaseError(
+                f"index on {self.extent}.{self.attribute}: element lacks the attribute"
+            )
+        self._buckets.setdefault(record[self.attribute], []).append(element)
+
+    def lookup(self, key: Any) -> list[Any]:
+        """All elements whose attribute equals ``key``."""
+        return list(self._buckets.get(key, ()))
+
+    def as_mapping(self) -> dict[Any, list[Any]]:
+        """The raw key -> elements mapping (used by the plan executor)."""
+        return self._buckets
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())

@@ -1,0 +1,185 @@
+"""Seeded sample databases.
+
+Two schemas used throughout the examples, tests and benchmarks:
+
+- the paper's **travel agency**: Cities with nested sets of Hotels,
+  each with a list of Rooms and a set of facilities — the exact shape
+  of the paper's running OQL examples (nested collections, path
+  expressions, the Portland query);
+- a flat **company** schema (Departments/Employees joined on ``dno``)
+  exercising classic equi-joins for the algebra benchmarks.
+
+All generators are deterministic in their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.types.schema import Schema
+from repro.types.types import ANY, TBOOL, TColl, TClass, TFLOAT, TINT, TRecord, TSTRING
+from repro.values import Bag, Record
+
+_CITY_NAMES = (
+    "Portland", "Salem", "Eugene", "Bend", "Medford", "Corvallis",
+    "Astoria", "Ashland", "Hillsboro", "Gresham", "Tigard", "Beaverton",
+)
+_HOTEL_PREFIXES = ("Grand", "Royal", "Park", "River", "Forest", "Summit")
+_HOTEL_SUFFIXES = ("Hotel", "Inn", "Lodge", "Suites", "Resort")
+_FACILITIES = ("pool", "gym", "spa", "bar", "restaurant", "parking", "wifi")
+_FIRST_NAMES = (
+    "Ann", "Bob", "Cara", "Dan", "Eve", "Finn", "Gail", "Hugo",
+    "Iris", "Jack", "Kira", "Liam", "Mona", "Nils", "Olga", "Pete",
+)
+_SKILLS = ("sql", "oql", "ml", "ops", "ui", "api", "qa")
+
+
+def travel_schema() -> Schema:
+    """The travel-agency schema (Cities extent; nested Hotels/Rooms)."""
+    schema = Schema()
+    room = TRecord((("beds", TINT), ("price", TINT)))
+    schema.define_class(
+        "Hotel",
+        {
+            "name": TSTRING,
+            "address": TSTRING,
+            "stars": TINT,
+            "rooms": TColl("list", room),
+            "facilities": TColl("set", TSTRING),
+        },
+    )
+    schema.define_class(
+        "City",
+        {
+            "name": TSTRING,
+            "state": TSTRING,
+            "population": TINT,
+            "hotels": TColl("set", TClass("Hotel")),
+            "hotel_count": TINT,
+        },
+        extent="Cities",
+    )
+    schema.define_method(
+        "Hotel",
+        "cheapest_room",
+        lambda hotel: min(hotel["rooms"], key=lambda r: r["price"]),
+        result=room,
+        doc="The room with the lowest price.",
+    )
+    schema.define_method(
+        "City",
+        "has_luxury",
+        lambda city: any(h["stars"] >= 5 for h in city["hotels"]),
+        result=TBOOL,
+        doc="True when the city has a five-star hotel.",
+    )
+    return schema
+
+
+def make_travel_agency(
+    num_cities: int = 8,
+    hotels_per_city: int = 4,
+    rooms_per_hotel: int = 6,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Generate the travel database: ``{"Cities": frozenset[Record]}``.
+
+    >>> data = make_travel_agency(num_cities=2, seed=1)
+    >>> sorted(c.name for c in data["Cities"])[0]
+    'Portland'
+    """
+    rng = random.Random(seed)
+    cities = []
+    for i in range(num_cities):
+        base = _CITY_NAMES[i % len(_CITY_NAMES)]
+        name = base if i < len(_CITY_NAMES) else f"{base}-{i // len(_CITY_NAMES)}"
+        hotels = []
+        for j in range(hotels_per_city):
+            rooms = tuple(
+                Record(beds=rng.randint(1, 4), price=rng.randint(40, 400))
+                for _ in range(rooms_per_hotel)
+            )
+            hotels.append(
+                Record(
+                    name=f"{rng.choice(_HOTEL_PREFIXES)} {rng.choice(_HOTEL_SUFFIXES)} {i}-{j}",
+                    address=f"{rng.randint(1, 999)} Main St, {name}",
+                    stars=rng.randint(1, 5),
+                    rooms=rooms,
+                    facilities=frozenset(
+                        rng.sample(_FACILITIES, rng.randint(1, 4))
+                    ),
+                )
+            )
+        cities.append(
+            Record(
+                name=name,
+                state="OR",
+                population=rng.randint(10_000, 700_000),
+                hotels=frozenset(hotels),
+                hotel_count=len(hotels),
+            )
+        )
+    return {"Cities": frozenset(cities)}
+
+
+def company_schema() -> Schema:
+    """Departments/Employees with a ``dno`` foreign key."""
+    schema = Schema()
+    schema.define_class(
+        "Department",
+        {"dno": TINT, "name": TSTRING, "budget": TINT, "floor": TINT},
+        extent="Departments",
+    )
+    schema.define_class(
+        "Employee",
+        {
+            "name": TSTRING,
+            "salary": TINT,
+            "age": TINT,
+            "dno": TINT,
+            "skills": TColl("set", TSTRING),
+        },
+        extent="Employees",
+        extent_monoid="bag",
+    )
+    schema.define_class(
+        "Manager",
+        {"bonus": TINT},
+        superclass="Employee",
+    )
+    return schema
+
+
+def make_company(
+    num_departments: int = 10,
+    num_employees: int = 100,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Generate the company database with a bag of employees.
+
+    >>> data = make_company(num_departments=2, num_employees=5, seed=3)
+    >>> len(data["Employees"])
+    5
+    """
+    rng = random.Random(seed)
+    departments = frozenset(
+        Record(
+            dno=d,
+            name=f"Dept-{d}",
+            budget=rng.randint(100_000, 5_000_000),
+            floor=rng.randint(1, 12),
+        )
+        for d in range(num_departments)
+    )
+    employees = Bag(
+        Record(
+            name=f"{rng.choice(_FIRST_NAMES)}-{e}",
+            salary=rng.randint(30_000, 180_000),
+            age=rng.randint(21, 67),
+            dno=rng.randrange(num_departments),
+            skills=frozenset(rng.sample(_SKILLS, rng.randint(1, 3))),
+        )
+        for e in range(num_employees)
+    )
+    return {"Departments": departments, "Employees": employees}

@@ -1,0 +1,129 @@
+"""Catalog statistics: per-extent and per-attribute cardinalities.
+
+The optimizer's cost model defaults to fixed guesses (selectivity 0.25,
+fan-out 4). Collected statistics replace those guesses with data:
+
+- extent sizes (element counts);
+- per-attribute distinct counts, giving equality selectivity
+  ``1 / distinct(attr)``;
+- average fan-out of collection-valued attributes (the paper's nested
+  sets: ``c.hotels``), giving Unnest cardinality.
+
+Statistics are a snapshot: call :meth:`StatisticsCollector.collect`
+again after reloading extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.db.catalog import Catalog
+from repro.eval.builtins import runtime_monoid_of
+from repro.objects.store import Obj, ObjectStore
+from repro.values import Bag, OrderedSet, Record, Vector
+
+
+@dataclass
+class AttributeStats:
+    """Statistics for one attribute of one extent."""
+
+    distinct: int = 0
+    non_null: int = 0
+    #: average element count when the attribute is collection-valued
+    avg_fanout: Optional[float] = None
+
+    def equality_selectivity(self) -> float:
+        """Estimated fraction of rows matching ``attr = const``."""
+        if self.distinct <= 0:
+            return 1.0
+        return 1.0 / self.distinct
+
+
+@dataclass
+class ExtentStats:
+    """Statistics for one extent."""
+
+    size: int = 0
+    attributes: dict[str, AttributeStats] = field(default_factory=dict)
+
+
+class StatisticsCollector:
+    """Scans a catalog and produces :class:`ExtentStats` per extent.
+
+    >>> from repro.db.catalog import Catalog
+    >>> from repro.values import Record
+    >>> catalog = Catalog()
+    >>> catalog.register_extent("Xs", (Record(k=1, tags=(1, 2)),
+    ...                                Record(k=1, tags=(3,))))
+    >>> stats = StatisticsCollector(catalog).collect()
+    >>> stats["Xs"].size
+    2
+    >>> stats["Xs"].attributes["k"].distinct
+    1
+    >>> stats["Xs"].attributes["tags"].avg_fanout
+    1.5
+    """
+
+    def __init__(self, catalog: Catalog, store: Optional[ObjectStore] = None) -> None:
+        self.catalog = catalog
+        self.store = store
+
+    def collect(self) -> dict[str, ExtentStats]:
+        out: dict[str, ExtentStats] = {}
+        for name in self.catalog.extents():
+            out[name] = self._collect_extent(name)
+        return out
+
+    def _collect_extent(self, name: str) -> ExtentStats:
+        stats = ExtentStats()
+        distinct_values: dict[str, set] = {}
+        fanouts: dict[str, list[int]] = {}
+        for element in self.catalog.iterate_extent(name):
+            stats.size += 1
+            record = element
+            if isinstance(record, Obj) and self.store is not None:
+                record = self.store.deref(record)
+            if not isinstance(record, Record):
+                continue
+            for attribute, value in record.items():
+                attr = stats.attributes.setdefault(attribute, AttributeStats())
+                if value is None:
+                    continue
+                attr.non_null += 1
+                distinct_values.setdefault(attribute, set()).add(value)
+                if isinstance(value, (tuple, frozenset, Bag, OrderedSet, Vector)):
+                    fanouts.setdefault(attribute, []).append(
+                        runtime_monoid_of(value).length(value)
+                    )
+        for attribute, values in distinct_values.items():
+            stats.attributes[attribute].distinct = len(values)
+        for attribute, counts in fanouts.items():
+            stats.attributes[attribute].avg_fanout = sum(counts) / len(counts)
+        return stats
+
+
+def selectivity_of(
+    stats: dict[str, ExtentStats], extent: str, attribute: str
+) -> Optional[float]:
+    """Equality selectivity of ``extent.attribute``, if known."""
+    extent_stats = stats.get(extent)
+    if extent_stats is None:
+        return None
+    attr = extent_stats.attributes.get(attribute)
+    if attr is None or attr.distinct == 0:
+        return None
+    return attr.equality_selectivity()
+
+
+def fanout_of(
+    stats: dict[str, ExtentStats], extent: str, attribute: str
+) -> Optional[float]:
+    """Average fan-out of a collection attribute, if known."""
+    extent_stats = stats.get(extent)
+    if extent_stats is None:
+        return None
+    attr = extent_stats.attributes.get(attribute)
+    if attr is None:
+        return None
+    return attr.avg_fanout

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the monoid calculus library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Each pipeline stage has its own
+subclass, which keeps failures attributable: a parse failure is a
+:class:`OQLSyntaxError`, a C/I violation is a :class:`WellFormednessError`,
+and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MonoidError(ReproError):
+    """A monoid was constructed or used inconsistently."""
+
+
+class UnknownMonoidError(MonoidError):
+    """A monoid name was looked up that is not in the registry."""
+
+    def __init__(self, name: str, known: list[str] | None = None) -> None:
+        self.name = name
+        self.known = known or []
+        hint = f" (known: {', '.join(sorted(self.known))})" if self.known else ""
+        super().__init__(f"unknown monoid {name!r}{hint}")
+
+
+class WellFormednessError(MonoidError):
+    """A homomorphism or comprehension violates the C/I restriction.
+
+    The paper's central static check: ``hom[N -> M]`` is well formed only
+    when ``props(N)`` is a subset of ``props(M)``. For example a
+    homomorphism from ``set`` (commutative and idempotent) to ``sum``
+    (commutative but not idempotent) is rejected, which is what prevents
+    the classic ``1 = hom[set->sum](\\x.1) {a}`` inconsistency.
+    """
+
+
+class CalculusError(ReproError):
+    """A calculus term is malformed (arity, unbound variable, bad field)."""
+
+
+class UnboundVariableError(CalculusError):
+    """A variable occurs free where a binding was required."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"unbound variable {name!r}")
+
+
+class EvaluationError(ReproError):
+    """The reference evaluator hit a dynamic error (bad operand, etc.)."""
+
+
+class TypingError(ReproError):
+    """Static type inference or checking failed."""
+
+
+class SchemaError(ReproError):
+    """A schema declaration is inconsistent (duplicate class, bad extent)."""
+
+
+class OQLError(ReproError):
+    """Base class for OQL front-end failures."""
+
+
+class OQLSyntaxError(OQLError):
+    """The OQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} at line {line}, column {column}"
+        super().__init__(message)
+
+
+class TranslationError(OQLError):
+    """An OQL construct could not be mapped into the calculus."""
+
+
+class NormalizationError(ReproError):
+    """The rewrite engine detected an internal inconsistency."""
+
+
+class PlanError(ReproError):
+    """Algebra plan construction or execution failed."""
+
+
+class ObjectStoreError(ReproError):
+    """An object operation (deref, assign) used an invalid OID."""
+
+
+class VectorError(ReproError):
+    """A vector comprehension or vector value operation is invalid."""
+
+
+class DatabaseError(ReproError):
+    """The database facade was misused (unknown extent, bad load)."""

@@ -1,0 +1,15 @@
+"""Reference evaluator for the monoid comprehension calculus."""
+
+from repro.eval.builtins import DEFAULT_BUILTINS, runtime_monoid_of
+from repro.eval.env import Env
+from repro.eval.evaluator import Closure, Evaluator, evaluate, merge_into
+
+__all__ = [
+    "DEFAULT_BUILTINS",
+    "Closure",
+    "Env",
+    "Evaluator",
+    "evaluate",
+    "merge_into",
+    "runtime_monoid_of",
+]

@@ -1,0 +1,171 @@
+"""Structural recursion over the union presentation (SRU) — and why not.
+
+The paper's related-work argument (section 5): Tannen et al.'s SRU
+operator is *more expressive* than monoid homomorphisms, but an SRU
+application ``sru(z, u, m)`` is only well-defined when ``(m, z)`` is a
+monoid respecting the source collection's equations (commutativity,
+idempotence) — conditions "hard to check by a compiler", hence
+impractical. The monoid calculus restricts itself to homomorphisms
+between *declared* monoids, where the C/I check is a subset test.
+
+This module makes the argument executable:
+
+- :class:`UnionTree` represents a collection *presentation* — the merge
+  tree by which a collection was built. Equal collections can have many
+  presentations (``{a}`` is also ``{a} ∪ {a}``).
+- :func:`sru` folds arbitrary ``(zero, unit, merge)`` over a
+  presentation. For ill-behaved arguments, different presentations of
+  the same collection give different answers — the classic
+  ``1 = sru(0, λx.1, +) {a}`` anomaly, reproduced in the tests.
+- :func:`sru_consistent` performs the runtime consistency check an SRU
+  compiler would need (testing the equations on the tree's own
+  elements) — sound but per-application and per-data, in contrast to
+  the calculus' one static subset test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Union
+
+from repro.errors import MonoidError
+from repro.monoids.base import CollectionMonoid
+
+
+@dataclass(frozen=True)
+class EmptyTree:
+    """The presentation ``zero``."""
+
+
+@dataclass(frozen=True)
+class UnitTree:
+    """The presentation ``unit(a)``."""
+
+    element: Any
+
+
+@dataclass(frozen=True)
+class UnionTree:
+    """The presentation ``left merge right``."""
+
+    left: "Presentation"
+    right: "Presentation"
+
+
+Presentation = Union[EmptyTree, UnitTree, UnionTree]
+
+
+def presentation_of(items: Any) -> Presentation:
+    """A right-nested presentation of an iterable of elements."""
+    tree: Presentation = EmptyTree()
+    for item in reversed(list(items)):
+        tree = UnionTree(UnitTree(item), tree)
+    return tree
+
+
+def elements(tree: Presentation) -> Iterator[Any]:
+    """The multiset of leaf elements, left to right."""
+    if isinstance(tree, UnitTree):
+        yield tree.element
+    elif isinstance(tree, UnionTree):
+        yield from elements(tree.left)
+        yield from elements(tree.right)
+
+
+def collapse(tree: Presentation, monoid: CollectionMonoid) -> Any:
+    """The collection value a presentation denotes under ``monoid``."""
+    if isinstance(tree, EmptyTree):
+        return monoid.zero()
+    if isinstance(tree, UnitTree):
+        return monoid.unit(tree.element)
+    return monoid.merge(collapse(tree.left, monoid), collapse(tree.right, monoid))
+
+
+def sru(
+    tree: Presentation,
+    zero: Any,
+    unit: Callable[[Any], Any],
+    merge: Callable[[Any, Any], Any],
+) -> Any:
+    """Unrestricted structural recursion over a presentation.
+
+    No conditions are checked: if ``(merge, zero)`` fails the source
+    collection's equations, the result depends on the presentation —
+    i.e. it is not a function of the collection at all.
+
+    >>> one = UnitTree("a")
+    >>> sru(one, 0, lambda x: 1, lambda a, b: a + b)
+    1
+    >>> two = UnionTree(one, one)   # the *same set* {a}, presented twice
+    >>> sru(two, 0, lambda x: 1, lambda a, b: a + b)
+    2
+    """
+    if isinstance(tree, EmptyTree):
+        return zero
+    if isinstance(tree, UnitTree):
+        return unit(tree.element)
+    return merge(
+        sru(tree.left, zero, unit, merge), sru(tree.right, zero, unit, merge)
+    )
+
+
+def sru_consistent(
+    tree: Presentation,
+    zero: Any,
+    unit: Callable[[Any], Any],
+    merge: Callable[[Any, Any], Any],
+    require_commutative: bool = False,
+    require_idempotent: bool = False,
+) -> Any:
+    """SRU with the runtime checks an SRU system would have to run.
+
+    Tests identity/associativity on the presentation's own images, plus
+    commutativity/idempotence when the source collection demands them.
+    Raises :class:`MonoidError` on any violation. This is necessarily
+    per-application and per-data (and still only a *test*, not a proof)
+    — the paper's reason to prefer the statically checkable calculus.
+
+    >>> tree = presentation_of([1, 2])
+    >>> sru_consistent(tree, 0, lambda x: x, lambda a, b: a + b)
+    3
+    >>> sru_consistent(tree, 0, lambda x: 1, lambda a, b: a + b,
+    ...                require_idempotent=True)
+    Traceback (most recent call last):
+        ...
+    repro.errors.MonoidError: ...
+    """
+    images = [unit(element) for element in elements(tree)]
+    for image in images:
+        if merge(zero, image) != image or merge(image, zero) != image:
+            raise MonoidError("SRU check failed: zero is not an identity for merge")
+    for a in images:
+        for b in images:
+            if require_commutative and merge(a, b) != merge(b, a):
+                raise MonoidError(
+                    "SRU check failed: merge is not commutative on the data "
+                    "(required by the source collection)"
+                )
+            for c in images:
+                if merge(merge(a, b), c) != merge(a, merge(b, c)):
+                    raise MonoidError("SRU check failed: merge is not associative")
+        if require_idempotent and merge(a, a) != a:
+            raise MonoidError(
+                "SRU check failed: merge is not idempotent on the data "
+                "(required by the source collection)"
+            )
+    return sru(tree, zero, unit, merge)
+
+
+def is_presentation_invariant(
+    trees: list[Presentation],
+    zero: Any,
+    unit: Callable[[Any], Any],
+    merge: Callable[[Any, Any], Any],
+) -> bool:
+    """Do all presentations give the same SRU result?
+
+    Well-behaved arguments are presentation-invariant; the anomalies
+    are exactly the cases where this returns False.
+    """
+    results = [sru(tree, zero, unit, merge) for tree in trees]
+    return all(result == results[0] for result in results[1:])

@@ -1,0 +1,139 @@
+"""The vector monoid ``M[n]`` of section 4.1.
+
+For a monoid ``M`` and size ``n``, ``M[n]`` is the monoid of n-element
+vectors whose components live in ``M``:
+
+- ``zero`` is a vector of n copies of ``zero(M)``;
+- ``unit(a, i)`` is the vector with ``unit(M)(a)`` at index ``i`` and
+  zeros elsewhere — the paper's ``unit sum[4](8, 2) = (|0,0,8,0|)``;
+- ``merge`` is pointwise ``merge(M)`` — the paper's
+  ``merge sum[4]((|0,1,2,0|), (|3,0,2,1|)) = (|3,1,4,1|)``.
+
+``M[n]`` inherits M's commutativity/idempotence pointwise. As the paper
+notes, ``M[n]`` is *not* freely generated from ``M`` — several units can
+land on the same slot and get merged by ``M`` — which is exactly what
+makes vector comprehensions expressive (FFT butterflies, histograms).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from repro.errors import VectorError
+from repro.monoids.base import Accumulator, CollectionMonoid, Monoid
+from repro.values import Vector
+
+
+class VectorMonoid(CollectionMonoid):
+    """``M[n]``: fixed-size vectors over an element monoid ``M``.
+
+    >>> from repro.monoids import SUM
+    >>> m = VectorMonoid(SUM, 4)
+    >>> m.unit(8, 2)
+    (|0, 0, 8, 0|)
+    >>> m.merge(Vector.from_dense([0, 1, 2, 0]), Vector.from_dense([3, 0, 2, 1]))
+    (|3, 1, 4, 1|)
+    """
+
+    def __init__(self, element: Monoid, size: int) -> None:
+        if size < 0:
+            raise VectorError(f"vector size must be non-negative, got {size}")
+        self.element = element
+        self.size = size
+        self.name = f"{element.name}[{size}]"
+        self.commutative = element.commutative
+        self.idempotent = element.idempotent
+
+    def signature(self) -> tuple:
+        return (type(self).__name__, self.element.signature(), self.size)
+
+    def zero(self) -> Vector:
+        return Vector(self.size, default=self.element.zero())
+
+    def unit(self, value: Any, index: int | None = None) -> Vector:
+        """Place ``unit(M)(value)`` at ``index``; all other slots zero.
+
+        ``index`` is keyword-optional only so the generic
+        :class:`CollectionMonoid` interface stays callable; omitting it is
+        an error because a vector unit is inherently positional.
+        """
+        if index is None:
+            raise VectorError(
+                f"{self.name}.unit requires an index: vectors are indexed collections"
+            )
+        if not 0 <= index < self.size:
+            raise VectorError(
+                f"unit index {index} out of range for {self.name}"
+            )
+        return Vector(
+            self.size,
+            default=self.element.zero(),
+            slots={index: self.element.unit(value)},
+        )
+
+    def merge(self, left: Vector, right: Vector) -> Vector:
+        self._check(left)
+        self._check(right)
+        slots = dict(left._slots)  # noqa: SLF001 — same-module intimacy
+        for index, value in right._slots.items():  # noqa: SLF001
+            if index in slots:
+                slots[index] = self.element.merge(slots[index], value)
+            else:
+                slots[index] = value
+        return Vector(self.size, default=self.element.zero(), slots=slots)
+
+    def iterate(self, collection: Vector) -> Iterator[tuple[int, Any]]:
+        """Vectors iterate as ``(index, element)`` pairs.
+
+        This realizes the paper's indexed generator ``a[i] <- x``: the
+        comprehension machinery binds both the slot value and its index.
+        """
+        self._check(collection)
+        return collection.items()
+
+    def accumulator(self) -> Accumulator:
+        return _VectorAccumulator(self)
+
+    def length(self, collection: Vector) -> int:
+        return len(collection)
+
+    def _check(self, value: Vector) -> None:
+        if not isinstance(value, Vector):
+            raise VectorError(f"{self.name} operates on Vector values, got {type(value).__name__}")
+        if len(value) != self.size:
+            raise VectorError(
+                f"{self.name} operates on vectors of size {self.size}, got size {len(value)}"
+            )
+
+
+class _VectorAccumulator(Accumulator):
+    """Accumulates ``(value, index)`` pairs into a vector via M-merges."""
+
+    def __init__(self, monoid: VectorMonoid) -> None:
+        self._monoid = monoid
+        self._slots: dict[int, Any] = {}
+
+    def add(self, value: Any) -> None:
+        try:
+            element, index = value
+        except (TypeError, ValueError):
+            raise VectorError(
+                "vector accumulator expects (value, index) pairs"
+            ) from None
+        if not 0 <= index < self._monoid.size:
+            raise VectorError(
+                f"index {index} out of range for {self._monoid.name}"
+            )
+        unit = self._monoid.element.unit(element)
+        if index in self._slots:
+            self._slots[index] = self._monoid.element.merge(self._slots[index], unit)
+        else:
+            self._slots[index] = unit
+
+    def finish(self) -> Vector:
+        return Vector(
+            self._monoid.size,
+            default=self._monoid.element.zero(),
+            slots=self._slots,
+        )

@@ -1,0 +1,27 @@
+"""Normalization of comprehensions — Table 3 of the paper."""
+
+from repro.normalize.engine import (
+    DEFAULT_MAX_STEPS,
+    is_canonical,
+    is_canonical_comprehension,
+    is_simple_path,
+    normalize,
+    normalize_with_trace,
+)
+from repro.normalize.rules import DEFAULT_RULES, RULES_BY_NAME, Rule, count_occurrences
+from repro.normalize.trace import NormalizationStep, NormalizationTrace
+
+__all__ = [
+    "DEFAULT_MAX_STEPS",
+    "DEFAULT_RULES",
+    "RULES_BY_NAME",
+    "NormalizationStep",
+    "NormalizationTrace",
+    "Rule",
+    "count_occurrences",
+    "is_canonical",
+    "is_canonical_comprehension",
+    "is_simple_path",
+    "normalize",
+    "normalize_with_trace",
+]

@@ -1,0 +1,302 @@
+"""The normalization engine: apply Table 3 rules to a fixpoint.
+
+Strategy: repeatedly locate the outermost-leftmost position where any
+rule applies (rules are tried in priority order at each node, pre-order
+over the term), rewrite, record a trace step, and continue until no
+rule applies anywhere or the step budget is exhausted. The default
+budget is generous; the rule set is terminating on pure terms (each
+rule either strictly shrinks the term or eliminates a construct no
+other rule reintroduces), so hitting the budget signals a bug and
+raises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.calculus.ast import (
+    Apply,
+    Assign,
+    Bind,
+    BinOp,
+    Call,
+    Comprehension,
+    Const,
+    Deref,
+    Empty,
+    Filter,
+    Generator,
+    Hom,
+    If,
+    Index,
+    Lambda,
+    Let,
+    Merge,
+    MethodCall,
+    New,
+    Proj,
+    RecordCons,
+    Singleton,
+    Term,
+    TupleCons,
+    UnOp,
+    Update,
+    Var,
+)
+from repro.errors import NormalizationError
+from repro.normalize.rules import DEFAULT_RULES, Rule
+from repro.normalize.trace import NormalizationTrace
+
+#: Safety budget. Real queries normalize in tens of steps; anything in
+#: the tens of thousands indicates non-termination.
+DEFAULT_MAX_STEPS = 20_000
+
+
+def normalize(
+    term: Term,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Term:
+    """Normalize ``term`` and return the canonical form.
+
+    >>> from repro.calculus import alpha_equal, comp, gen, var, const
+    >>> inner = comp("set", var("x"), [gen("x", var("db"))])
+    >>> outer = comp("set", var("y"), [gen("y", inner)])
+    >>> alpha_equal(normalize(outer), inner)
+    True
+    """
+    result, _ = normalize_with_trace(term, rules, max_steps)
+    return result
+
+
+def normalize_with_trace(
+    term: Term,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> tuple[Term, NormalizationTrace]:
+    """Normalize and return ``(normal_form, trace)``."""
+    trace = NormalizationTrace(term)
+    current = term
+    for _ in range(max_steps):
+        rewritten = _rewrite_once(current, rules, trace)
+        if rewritten is None:
+            return current, trace
+        current = rewritten
+    raise NormalizationError(
+        f"normalization exceeded {max_steps} steps; last term: {current}"
+    )
+
+
+def _rewrite_once(
+    term: Term, rules: Sequence[Rule], trace: NormalizationTrace
+) -> Optional[Term]:
+    """One outermost-leftmost rewrite, or None if in normal form."""
+    for rule in rules:
+        result = rule.apply(term)
+        if result is not None:
+            trace.record(rule.name, term, result)
+            return result
+    return _rewrite_in_children(term, rules, trace)
+
+
+def _rewrite_in_children(
+    term: Term, rules: Sequence[Rule], trace: NormalizationTrace
+) -> Optional[Term]:
+    """Try to rewrite exactly one child subterm; rebuild if one changed."""
+
+    def visit(child: Term) -> Optional[Term]:
+        return _rewrite_once(child, rules, trace)
+
+    return _rebuild_first(term, visit)
+
+
+def _rebuild_first(
+    term: Term, visit: Callable[[Term], Optional[Term]]
+) -> Optional[Term]:
+    """Apply ``visit`` to children left-to-right; rebuild on first change."""
+    if isinstance(term, (Const, Var, Empty)):
+        return None
+    if isinstance(term, Lambda):
+        body = visit(term.body)
+        return Lambda(term.param, body) if body is not None else None
+    if isinstance(term, Apply):
+        fn = visit(term.fn)
+        if fn is not None:
+            return Apply(fn, term.arg)
+        arg = visit(term.arg)
+        return Apply(term.fn, arg) if arg is not None else None
+    if isinstance(term, Let):
+        value = visit(term.value)
+        if value is not None:
+            return Let(term.var, value, term.body)
+        body = visit(term.body)
+        return Let(term.var, term.value, body) if body is not None else None
+    if isinstance(term, RecordCons):
+        for i, (name, value) in enumerate(term.fields):
+            new_value = visit(value)
+            if new_value is not None:
+                fields = (
+                    term.fields[:i] + ((name, new_value),) + term.fields[i + 1 :]
+                )
+                return RecordCons(fields)
+        return None
+    if isinstance(term, TupleCons):
+        for i, item in enumerate(term.items):
+            new_item = visit(item)
+            if new_item is not None:
+                return TupleCons(term.items[:i] + (new_item,) + term.items[i + 1 :])
+        return None
+    if isinstance(term, Proj):
+        base = visit(term.base)
+        return Proj(base, term.name) if base is not None else None
+    if isinstance(term, Index):
+        base = visit(term.base)
+        if base is not None:
+            return Index(base, term.index)
+        idx = visit(term.index)
+        return Index(term.base, idx) if idx is not None else None
+    if isinstance(term, BinOp):
+        left = visit(term.left)
+        if left is not None:
+            return BinOp(term.op, left, term.right)
+        right = visit(term.right)
+        return BinOp(term.op, term.left, right) if right is not None else None
+    if isinstance(term, UnOp):
+        operand = visit(term.operand)
+        return UnOp(term.op, operand) if operand is not None else None
+    if isinstance(term, If):
+        cond = visit(term.cond)
+        if cond is not None:
+            return If(cond, term.then_branch, term.else_branch)
+        then_branch = visit(term.then_branch)
+        if then_branch is not None:
+            return If(term.cond, then_branch, term.else_branch)
+        else_branch = visit(term.else_branch)
+        if else_branch is not None:
+            return If(term.cond, term.then_branch, else_branch)
+        return None
+    if isinstance(term, Singleton):
+        element = visit(term.element)
+        if element is not None:
+            return Singleton(term.monoid, element, term.index)
+        if term.index is not None:
+            idx = visit(term.index)
+            if idx is not None:
+                return Singleton(term.monoid, term.element, idx)
+        return None
+    if isinstance(term, Merge):
+        left = visit(term.left)
+        if left is not None:
+            return Merge(term.monoid, left, term.right)
+        right = visit(term.right)
+        return Merge(term.monoid, term.left, right) if right is not None else None
+    if isinstance(term, Comprehension):
+        for i, qual in enumerate(term.qualifiers):
+            if isinstance(qual, Generator):
+                source = visit(qual.source)
+                if source is not None:
+                    quals = (
+                        term.qualifiers[:i]
+                        + (Generator(qual.var, source, qual.index_var),)
+                        + term.qualifiers[i + 1 :]
+                    )
+                    return Comprehension(term.monoid, term.head, quals)
+            elif isinstance(qual, Bind):
+                value = visit(qual.value)
+                if value is not None:
+                    quals = (
+                        term.qualifiers[:i]
+                        + (Bind(qual.var, value),)
+                        + term.qualifiers[i + 1 :]
+                    )
+                    return Comprehension(term.monoid, term.head, quals)
+            else:
+                pred = visit(qual.pred)
+                if pred is not None:
+                    quals = (
+                        term.qualifiers[:i]
+                        + (Filter(pred),)
+                        + term.qualifiers[i + 1 :]
+                    )
+                    return Comprehension(term.monoid, term.head, quals)
+        head = visit(term.head)
+        if head is not None:
+            return Comprehension(term.monoid, head, term.qualifiers)
+        return None
+    if isinstance(term, Hom):
+        body = visit(term.body)
+        if body is not None:
+            return Hom(term.source, term.target, term.var, body, term.arg)
+        arg = visit(term.arg)
+        if arg is not None:
+            return Hom(term.source, term.target, term.var, term.body, arg)
+        return None
+    if isinstance(term, Call):
+        for i, arg in enumerate(term.args):
+            new_arg = visit(arg)
+            if new_arg is not None:
+                return Call(term.name, term.args[:i] + (new_arg,) + term.args[i + 1 :])
+        return None
+    if isinstance(term, MethodCall):
+        base = visit(term.base)
+        if base is not None:
+            return MethodCall(base, term.name, term.args)
+        for i, arg in enumerate(term.args):
+            new_arg = visit(arg)
+            if new_arg is not None:
+                return MethodCall(
+                    term.base, term.name, term.args[:i] + (new_arg,) + term.args[i + 1 :]
+                )
+        return None
+    if isinstance(term, New):
+        state = visit(term.state)
+        return New(state) if state is not None else None
+    if isinstance(term, Deref):
+        target = visit(term.target)
+        return Deref(target) if target is not None else None
+    if isinstance(term, Assign):
+        target = visit(term.target)
+        if target is not None:
+            return Assign(target, term.value)
+        value = visit(term.value)
+        return Assign(term.target, value) if value is not None else None
+    if isinstance(term, Update):
+        base = visit(term.base)
+        if base is not None:
+            return Update(base, term.field_name, term.op, term.value)
+        value = visit(term.value)
+        if value is not None:
+            return Update(term.base, term.field_name, term.op, value)
+        return None
+    raise NormalizationError(f"rewrite: unknown term {type(term).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Canonical form predicates
+# ---------------------------------------------------------------------------
+
+
+def is_simple_path(term: Term) -> bool:
+    """True for ``v``, ``v.a.b`` ... — the canonical generator sources."""
+    while isinstance(term, Proj):
+        term = term.base
+    return isinstance(term, Var)
+
+
+def is_canonical(term: Term, rules: Sequence[Rule] = DEFAULT_RULES) -> bool:
+    """True when no rule applies anywhere in ``term``."""
+    trace = NormalizationTrace(term)
+    return _rewrite_once(term, rules, trace) is None
+
+
+def is_canonical_comprehension(term: Term) -> bool:
+    """The paper's canonical form: a comprehension whose generators all
+    range over simple paths, with no bindings left."""
+    if not isinstance(term, Comprehension):
+        return False
+    for qual in term.qualifiers:
+        if isinstance(qual, Bind):
+            return False
+        if isinstance(qual, Generator) and not is_simple_path(qual.source):
+            return False
+    return True

@@ -1,0 +1,61 @@
+"""Normalization traces: a record of every rewrite step.
+
+The paper argues manipulability by exhibiting the normalization
+algorithm; the trace makes each derivation inspectable — benchmarks
+print it to regenerate the paper's worked derivation of the
+Portland-hotels query, and tests assert on which rules fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calculus.ast import Term
+
+
+@dataclass(frozen=True)
+class NormalizationStep:
+    """One rewrite: which rule fired, on what, producing what."""
+
+    rule: str
+    before: Term
+    after: Term
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.before}  ==>  {self.after}"
+
+
+@dataclass
+class NormalizationTrace:
+    """The full derivation from source term to normal form."""
+
+    source: Term
+    steps: list[NormalizationStep] = field(default_factory=list)
+
+    @property
+    def result(self) -> Term:
+        return self.steps[-1].after if self.steps else self.source
+
+    def record(self, rule: str, before: Term, after: Term) -> None:
+        self.steps.append(NormalizationStep(rule, before, after))
+
+    def rules_fired(self) -> list[str]:
+        """Rule names in firing order (with repeats)."""
+        return [step.rule for step in self.steps]
+
+    def rule_counts(self) -> dict[str, int]:
+        """How many times each rule fired."""
+        counts: dict[str, int] = {}
+        for step in self.steps:
+            counts[step.rule] = counts.get(step.rule, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def render(self) -> str:
+        """A printable derivation, one step per line."""
+        lines = [f"source: {self.source}"]
+        for i, step in enumerate(self.steps, 1):
+            lines.append(f"  {i:3d}. [{step.rule}] => {step.after}")
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Object identity, heaps, class extents and update programs (section 4.2)."""
+
+from repro.objects.classes import ExtentRegistry, class_of, instantiate
+from repro.objects.store import Obj, ObjectStore
+from repro.objects.updates import (
+    FieldUpdate,
+    add_to_field,
+    run_update,
+    set_field,
+    update_where,
+)
+
+__all__ = [
+    "ExtentRegistry",
+    "FieldUpdate",
+    "Obj",
+    "ObjectStore",
+    "add_to_field",
+    "class_of",
+    "instantiate",
+    "run_update",
+    "set_field",
+    "update_where",
+]

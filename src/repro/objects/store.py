@@ -1,0 +1,96 @@
+"""The object heap: OIDs, ``new``, dereference and assignment.
+
+Section 4.2 of the paper extends the calculus with a type ``obj(α)`` and
+three operations — ``new(s)``, ``!e`` and ``e := s`` — whose semantics
+is a state transformer threading the heap (OID -> state bindings)
+through every operation in an expression. Here the heap is a concrete
+:class:`ObjectStore`; the evaluator owns one and threads it by
+evaluating qualifiers in deterministic left-to-right order.
+
+Identity semantics: two OIDs are equal only if they are the *same*
+object (the paper's first example: ``some{ x = y | x <- new(1),
+y <- new(1) }`` is false), while their states may be equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ObjectStoreError
+
+
+@dataclass(frozen=True)
+class Obj:
+    """An object identity (OID). Hashable; equality is identity of id."""
+
+    oid: int
+
+    def __repr__(self) -> str:
+        return f"obj#{self.oid}"
+
+
+class ObjectStore:
+    """A heap mapping OIDs to states.
+
+    >>> store = ObjectStore()
+    >>> x = store.new(1)
+    >>> y = store.new(1)
+    >>> x == y
+    False
+    >>> store.deref(x) == store.deref(y)
+    True
+    >>> _ = store.assign(x, 2)
+    >>> store.deref(x)
+    2
+    """
+
+    def __init__(self) -> None:
+        self._states: dict[int, Any] = {}
+        self._next_oid = 1
+
+    def new(self, state: Any) -> Obj:
+        """Allocate a fresh object with the given initial state."""
+        obj = Obj(self._next_oid)
+        self._next_oid += 1
+        self._states[obj.oid] = state
+        return obj
+
+    def deref(self, obj: Any) -> Any:
+        """``!obj`` — the object's current state."""
+        self._check(obj)
+        return self._states[obj.oid]
+
+    def assign(self, obj: Any, state: Any) -> bool:
+        """``obj := state`` — replace the state; returns True (the paper's
+        convention, so assignments can stand as qualifiers)."""
+        self._check(obj)
+        self._states[obj.oid] = state
+        return True
+
+    def contains(self, obj: Obj) -> bool:
+        return isinstance(obj, Obj) and obj.oid in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def objects(self) -> Iterator[Obj]:
+        """All live OIDs, in allocation order."""
+        for oid in sorted(self._states):
+            yield Obj(oid)
+
+    def snapshot(self) -> dict[int, Any]:
+        """A copy of the heap (used by tests and speculative evaluation)."""
+        return dict(self._states)
+
+    def restore(self, snapshot: dict[int, Any]) -> None:
+        """Reset the heap to a previous :meth:`snapshot`."""
+        self._states = dict(snapshot)
+
+    def _check(self, obj: Any) -> None:
+        if not isinstance(obj, Obj):
+            raise ObjectStoreError(
+                f"expected an object (OID), got {type(obj).__name__}: {obj!r}"
+            )
+        if obj.oid not in self._states:
+            raise ObjectStoreError(f"dangling OID {obj!r}")

@@ -1,0 +1,186 @@
+"""OQL abstract syntax (the ODMG-93 subset the paper covers).
+
+The parser produces these nodes; :mod:`repro.oql.translate` maps them
+into the monoid calculus. Expressions deliberately mirror OQL's surface
+forms (select-from-where, quantifiers, aggregates, sorting, grouping,
+constructors, paths) rather than the calculus, so the translation rules
+of section 3 are visible as code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class OQLNode:
+    """Base class of OQL syntax nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(OQLNode):
+    """A constant: number, string, boolean or nil."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Name(OQLNode):
+    """An identifier: a variable, extent or named object."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Path(OQLNode):
+    """``base.field`` — attribute navigation (implicit deref on objects)."""
+
+    base: OQLNode
+    field: str
+
+
+@dataclass(frozen=True)
+class IndexOp(OQLNode):
+    """``base[index]`` — list/vector indexing."""
+
+    base: OQLNode
+    index: OQLNode
+
+
+@dataclass(frozen=True)
+class CallOp(OQLNode):
+    """Function call ``name(args...)`` — builtins and aggregates."""
+
+    name: str
+    args: tuple[OQLNode, ...]
+
+
+@dataclass(frozen=True)
+class MethodOp(OQLNode):
+    """Method invocation ``base.name(args...)``."""
+
+    base: OQLNode
+    name: str
+    args: tuple[OQLNode, ...]
+
+
+@dataclass(frozen=True)
+class BinaryOp(OQLNode):
+    """Binary operator (arithmetic, comparison, boolean, set ops, in)."""
+
+    op: str
+    left: OQLNode
+    right: OQLNode
+
+
+@dataclass(frozen=True)
+class UnaryOp(OQLNode):
+    """``not e`` or ``-e``."""
+
+    op: str
+    operand: OQLNode
+
+
+@dataclass(frozen=True)
+class IfExpr(OQLNode):
+    """``if c then a else b`` (an OQL extension used by the paper)."""
+
+    cond: OQLNode
+    then_branch: OQLNode
+    else_branch: OQLNode
+
+
+@dataclass(frozen=True)
+class StructExpr(OQLNode):
+    """``struct(a: e1, b: e2, ...)``."""
+
+    fields: tuple[tuple[str, OQLNode], ...]
+
+
+@dataclass(frozen=True)
+class CollectionExpr(OQLNode):
+    """``set(...)``, ``bag(...)``, ``list(...)`` literal constructors."""
+
+    kind: str  # "set" | "bag" | "list"
+    items: tuple[OQLNode, ...]
+
+
+@dataclass(frozen=True)
+class FromClause(OQLNode):
+    """One ``x in E`` (or ``E as x``) binding of a from list."""
+
+    var: str
+    source: OQLNode
+
+
+@dataclass(frozen=True)
+class OrderItem(OQLNode):
+    """One ``order by`` key with direction."""
+
+    key: OQLNode
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class GroupItem(OQLNode):
+    """One ``group by`` key: ``label: expr``."""
+
+    label: str
+    key: OQLNode
+
+
+@dataclass(frozen=True)
+class Select(OQLNode):
+    """``select [distinct] head from ... where ... group by ... order by``."""
+
+    head: OQLNode
+    from_clauses: tuple[FromClause, ...]
+    where: Optional[OQLNode] = None
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    group_by: tuple[GroupItem, ...] = ()
+    having: Optional[OQLNode] = None
+
+
+@dataclass(frozen=True)
+class Exists(OQLNode):
+    """``exists x in E : p``."""
+
+    var: str
+    source: OQLNode
+    pred: OQLNode
+
+
+@dataclass(frozen=True)
+class ForAll(OQLNode):
+    """``for all x in E : p``."""
+
+    var: str
+    source: OQLNode
+    pred: OQLNode
+
+
+@dataclass(frozen=True)
+class ExistsQuery(OQLNode):
+    """``exists(select ...)`` — non-emptiness of a subquery."""
+
+    query: OQLNode
+
+
+@dataclass(frozen=True)
+class Aggregate(OQLNode):
+    """``count/sum/avg/max/min (e)`` over a collection-valued ``e``."""
+
+    op: str
+    arg: OQLNode
+
+
+@dataclass(frozen=True)
+class SortExpr(OQLNode):
+    """``sort x in E by k1, k2, ...`` — the ODMG sort operator."""
+
+    var: str
+    source: OQLNode
+    keys: tuple[OrderItem, ...]

@@ -1,0 +1,175 @@
+"""Tokenizer for the OQL subset.
+
+Hand-written single-pass scanner producing a list of :class:`Token`.
+Keywords are case-insensitive (ODMG style); identifiers keep their
+case. ``#`` is allowed inside identifiers (the paper's travel-agency
+schema uses attributes like ``bed#`` and ``hotel#``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import OQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "distinct",
+        "from",
+        "where",
+        "in",
+        "as",
+        "and",
+        "or",
+        "not",
+        "exists",
+        "for",
+        "all",
+        "order",
+        "group",
+        "by",
+        "having",
+        "asc",
+        "desc",
+        "union",
+        "intersect",
+        "except",
+        "struct",
+        "set",
+        "bag",
+        "list",
+        "array",
+        "sort",
+        "true",
+        "false",
+        "nil",
+        "if",
+        "then",
+        "else",
+        "mod",
+        "div",
+        "like",
+        "element",
+        "flatten",
+        "count",
+        "sum",
+        "avg",
+        "max",
+        "min",
+        "partition",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = ("<=", ">=", "!=", "<>", ":=", "+=", "..", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),[].:"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'punct' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.text!r}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into tokens, ending with an ``eof`` token.
+
+    >>> [t.text for t in tokenize("select c.name from c in Cities")][:4]
+    ['select', 'c', '.', 'name']
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("--", i):  # SQL-style comment to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        column = i - line_start + 1
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # ".." is a range/punct, not a decimal point
+                    if j + 1 < n and source[j + 1] == ".":
+                        break
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            if text.endswith("."):
+                text = text[:-1]
+                j -= 1
+                seen_dot = False
+            yield Token("number", text, line, column)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_#"):
+                j += 1
+            text = source[i:j]
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                yield Token("keyword", lowered, line, column)
+            else:
+                yield Token("ident", text, line, column)
+            i = j
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            parts: list[str] = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\" and j + 1 < n:
+                    parts.append(source[j + 1])
+                    j += 2
+                else:
+                    parts.append(source[j])
+                    j += 1
+            if j >= n:
+                raise OQLSyntaxError("unterminated string literal", line, column)
+            yield Token("string", "".join(parts), line, column)
+            i = j + 1
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, line, column)
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            yield Token("punct", ch, line, column)
+            i += 1
+            continue
+        raise OQLSyntaxError(f"unexpected character {ch!r}", line, column)
+    yield Token("eof", "", line, (n - line_start) + 1)

@@ -1,0 +1,437 @@
+"""Recursive-descent parser for the OQL subset.
+
+Covers the features the paper maps into the calculus: select-from-where
+with ``distinct``, nested subqueries at any expression position,
+quantifiers (``exists x in E : p``, ``for all x in E : p``,
+``exists(select ...)``), membership ``in``, aggregates (``count``,
+``sum``, ``avg``, ``max``, ``min``), ``element``, ``flatten``,
+``struct`` and collection constructors, path expressions and method
+calls, set operators (``union``/``intersect``/``except``), ``sort x in
+E by keys``, ``order by``, ``group by ... having`` and conditional
+expressions.
+
+Operator precedence, loosest to tightest::
+
+    or < and < not < comparison/in < +,-,union,except
+       < *,/,mod,div,intersect < unary - < postfix (. [ ()) < primary
+"""
+
+from __future__ import annotations
+
+from repro.errors import OQLSyntaxError
+from repro.oql.ast import (
+    Aggregate,
+    BinaryOp,
+    CallOp,
+    CollectionExpr,
+    Exists,
+    ExistsQuery,
+    ForAll,
+    FromClause,
+    GroupItem,
+    IfExpr,
+    IndexOp,
+    Literal,
+    MethodOp,
+    Name,
+    OQLNode,
+    OrderItem,
+    Path,
+    Select,
+    SortExpr,
+    StructExpr,
+    UnaryOp,
+)
+from repro.oql.lexer import Token, tokenize
+
+_AGGREGATES = ("count", "sum", "avg", "max", "min")
+_COMPARISONS = {"=": "=", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def parse(source: str) -> OQLNode:
+    """Parse one OQL query.
+
+    >>> node = parse("select distinct c.name from c in Cities where c.pop > 10")
+    >>> type(node).__name__
+    'Select'
+    """
+    return _Parser(tokenize(source)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        return self._current.kind == "keyword" and self._current.text in words
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._check_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            self._fail(f"expected {word!r}")
+
+    def _check(self, kind: str, text: str) -> bool:
+        return self._current.kind == kind and self._current.text == text
+
+    def _accept(self, kind: str, text: str) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: str, text: str) -> None:
+        if not self._accept(kind, text):
+            self._fail(f"expected {text!r}")
+
+    def _expect_ident(self) -> str:
+        if self._current.kind == "ident":
+            return self._advance().text
+        self._fail("expected an identifier")
+        raise AssertionError  # pragma: no cover
+
+    def _fail(self, message: str) -> None:
+        token = self._current
+        raise OQLSyntaxError(
+            f"{message}, found {token.kind} {token.text!r}", token.line, token.column
+        )
+
+    # -- entry ----------------------------------------------------------------
+
+    def parse_query(self) -> OQLNode:
+        node = self._expression()
+        if self._current.kind != "eof":
+            self._fail("unexpected trailing input")
+        return node
+
+    # -- expression grammar -------------------------------------------------------
+
+    def _expression(self) -> OQLNode:
+        return self._or_expr()
+
+    def _or_expr(self) -> OQLNode:
+        node = self._and_expr()
+        while self._accept_keyword("or"):
+            node = BinaryOp("or", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> OQLNode:
+        node = self._not_expr()
+        while self._accept_keyword("and"):
+            node = BinaryOp("and", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> OQLNode:
+        if self._accept_keyword("not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> OQLNode:
+        node = self._additive()
+        if self._current.kind == "op" and self._current.text in _COMPARISONS:
+            op = _COMPARISONS[self._advance().text]
+            return BinaryOp(op, node, self._additive())
+        if self._accept_keyword("in"):
+            return BinaryOp("in", node, self._additive())
+        if self._accept_keyword("like"):
+            return BinaryOp("like", node, self._additive())
+        return node
+
+    def _additive(self) -> OQLNode:
+        node = self._multiplicative()
+        while True:
+            if self._accept("op", "+"):
+                node = BinaryOp("+", node, self._multiplicative())
+            elif self._accept("op", "-"):
+                node = BinaryOp("-", node, self._multiplicative())
+            elif self._accept_keyword("union"):
+                node = BinaryOp("union", node, self._multiplicative())
+            elif self._accept_keyword("except"):
+                node = BinaryOp("except", node, self._multiplicative())
+            else:
+                return node
+
+    def _multiplicative(self) -> OQLNode:
+        node = self._unary()
+        while True:
+            if self._accept("op", "*"):
+                node = BinaryOp("*", node, self._unary())
+            elif self._accept("op", "/"):
+                node = BinaryOp("/", node, self._unary())
+            elif self._accept_keyword("mod"):
+                node = BinaryOp("mod", node, self._unary())
+            elif self._accept_keyword("div"):
+                node = BinaryOp("div", node, self._unary())
+            elif self._accept_keyword("intersect"):
+                node = BinaryOp("intersect", node, self._unary())
+            else:
+                return node
+
+    def _unary(self) -> OQLNode:
+        if self._accept("op", "-"):
+            return UnaryOp("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> OQLNode:
+        node = self._primary()
+        while True:
+            if self._accept("punct", "."):
+                name = self._field_name()
+                if self._accept("punct", "("):
+                    args = self._arguments()
+                    node = MethodOp(node, name, args)
+                else:
+                    node = Path(node, name)
+            elif self._accept("punct", "["):
+                index = self._expression()
+                self._expect("punct", "]")
+                node = IndexOp(node, index)
+            else:
+                return node
+
+    def _field_name(self) -> str:
+        # Field names may collide with keywords (e.g. ``partition``,
+        # ``count``): accept both token kinds after a dot.
+        token = self._current
+        if token.kind in ("ident", "keyword"):
+            self._advance()
+            return token.text
+        self._fail("expected a field name")
+        raise AssertionError  # pragma: no cover
+
+    def _arguments(self) -> tuple[OQLNode, ...]:
+        if self._accept("punct", ")"):
+            return ()
+        args = [self._expression()]
+        while self._accept("punct", ","):
+            args.append(self._expression())
+        self._expect("punct", ")")
+        return tuple(args)
+
+    # -- primaries --------------------------------------------------------------------
+
+    def _primary(self) -> OQLNode:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            text = token.text
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.text)
+        if token.kind == "keyword":
+            return self._keyword_primary(token)
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("punct", "("):
+                args = self._arguments()
+                return CallOp(token.text, args)
+            return Name(token.text)
+        if self._accept("punct", "("):
+            node = self._expression()
+            self._expect("punct", ")")
+            return node
+        self._fail("expected an expression")
+        raise AssertionError  # pragma: no cover
+
+    def _keyword_primary(self, token: Token) -> OQLNode:
+        word = token.text
+        if word == "true":
+            self._advance()
+            return Literal(True)
+        if word == "false":
+            self._advance()
+            return Literal(False)
+        if word == "nil":
+            self._advance()
+            return Literal(None)
+        if word == "select":
+            return self._select()
+        if word == "exists":
+            return self._exists()
+        if word == "for":
+            return self._forall()
+        if word == "struct":
+            return self._struct()
+        if word in ("set", "bag", "list", "array"):
+            return self._collection(word)
+        if word in _AGGREGATES:
+            self._advance()
+            self._expect("punct", "(")
+            arg = self._expression()
+            self._expect("punct", ")")
+            return Aggregate(word, arg)
+        if word in ("element", "flatten", "distinct"):
+            self._advance()
+            self._expect("punct", "(")
+            arg = self._expression()
+            self._expect("punct", ")")
+            return CallOp("to_set" if word == "distinct" else word, (arg,))
+        if word == "sort":
+            return self._sort()
+        if word == "if":
+            self._advance()
+            cond = self._expression()
+            self._expect_keyword("then")
+            then_branch = self._expression()
+            self._expect_keyword("else")
+            else_branch = self._expression()
+            return IfExpr(cond, then_branch, else_branch)
+        if word == "partition":
+            self._advance()
+            return Name("partition")
+        self._fail("unexpected keyword")
+        raise AssertionError  # pragma: no cover
+
+    def _select(self) -> Select:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        head = self._expression()
+        self._expect_keyword("from")
+        from_clauses = [self._from_clause()]
+        while self._accept("punct", ","):
+            from_clauses.append(self._from_clause())
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+        group_by: tuple[GroupItem, ...] = ()
+        having = None
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by = self._group_items()
+            if self._accept_keyword("having"):
+                having = self._expression()
+        order_by: tuple[OrderItem, ...] = ()
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = self._order_items()
+        return Select(
+            head,
+            tuple(from_clauses),
+            where=where,
+            distinct=distinct,
+            order_by=order_by,
+            group_by=group_by,
+            having=having,
+        )
+
+    def _from_clause(self) -> FromClause:
+        # Preferred ODMG form: ``x in E``. Alternative: ``E as x``.
+        if self._current.kind == "ident":
+            next_token = self._tokens[self._pos + 1]
+            if next_token.is_keyword("in"):
+                var = self._expect_ident()
+                self._expect_keyword("in")
+                source = self._expression()
+                return FromClause(var, source)
+        source = self._expression()
+        if self._accept_keyword("as"):
+            var = self._expect_ident()
+            return FromClause(var, source)
+        if self._current.kind == "ident":
+            # ``E x`` — SQL-style alias without AS
+            var = self._expect_ident()
+            return FromClause(var, source)
+        self._fail("from clause needs a variable: use `x in E` or `E as x`")
+        raise AssertionError  # pragma: no cover
+
+    def _order_items(self) -> tuple[OrderItem, ...]:
+        items = [self._order_item()]
+        while self._accept("punct", ","):
+            items.append(self._order_item())
+        return tuple(items)
+
+    def _order_item(self) -> OrderItem:
+        key = self._expression()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(key, descending)
+
+    def _group_items(self) -> tuple[GroupItem, ...]:
+        items = [self._group_item()]
+        while self._accept("punct", ","):
+            items.append(self._group_item())
+        return tuple(items)
+
+    def _group_item(self) -> GroupItem:
+        label = self._expect_ident()
+        self._expect("punct", ":")
+        key = self._expression()
+        return GroupItem(label, key)
+
+    def _exists(self) -> OQLNode:
+        self._expect_keyword("exists")
+        if self._accept("punct", "("):
+            query = self._expression()
+            self._expect("punct", ")")
+            return ExistsQuery(query)
+        var = self._expect_ident()
+        self._expect_keyword("in")
+        source = self._expression()
+        self._expect("punct", ":")
+        pred = self._expression()
+        return Exists(var, source, pred)
+
+    def _forall(self) -> ForAll:
+        self._expect_keyword("for")
+        self._expect_keyword("all")
+        var = self._expect_ident()
+        self._expect_keyword("in")
+        source = self._expression()
+        self._expect("punct", ":")
+        pred = self._expression()
+        return ForAll(var, source, pred)
+
+    def _struct(self) -> StructExpr:
+        self._expect_keyword("struct")
+        self._expect("punct", "(")
+        fields = [self._struct_field()]
+        while self._accept("punct", ","):
+            fields.append(self._struct_field())
+        self._expect("punct", ")")
+        return StructExpr(tuple(fields))
+
+    def _struct_field(self) -> tuple[str, OQLNode]:
+        name = self._expect_ident()
+        self._expect("punct", ":")
+        return name, self._expression()
+
+    def _collection(self, kind: str) -> CollectionExpr:
+        self._advance()
+        self._expect("punct", "(")
+        if self._accept("punct", ")"):
+            return CollectionExpr("list" if kind == "array" else kind, ())
+        items = [self._expression()]
+        while self._accept("punct", ","):
+            items.append(self._expression())
+        self._expect("punct", ")")
+        return CollectionExpr("list" if kind == "array" else kind, tuple(items))
+
+    def _sort(self) -> SortExpr:
+        self._expect_keyword("sort")
+        var = self._expect_ident()
+        self._expect_keyword("in")
+        source = self._expression()
+        self._expect_keyword("by")
+        keys = self._order_items()
+        return SortExpr(var, source, keys)

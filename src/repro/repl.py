@@ -1,0 +1,119 @@
+"""An interactive OQL shell over the demo databases.
+
+Run with ``python -m repro``. Commands:
+
+====================  ==================================================
+``<oql query>``       run it; print the result
+``\\calc <term>``      evaluate a calculus term in the paper's notation
+``\\explain <query>``  show the optimized plan with estimates
+``\\trace <query>``    show the Table-3 normalization derivation
+``\\plan <query>``     show translation, normal form and the plan
+``\\define n as q``    define a named view
+``\\extents``          list extents and sizes
+``\\schema``           list classes and attributes
+``\\help``             this text
+``\\quit``             leave
+====================  ==================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional
+
+from repro.calculus.parser import parse_calculus
+from repro.db.database import Database
+from repro.errors import ReproError
+from repro.values import to_python
+
+
+class Repl:
+    """A line-oriented shell around one :class:`Database`."""
+
+    def __init__(self, db: Database, out: Callable[[str], None] = print) -> None:
+        self.db = db
+        self.out = out
+        self.running = True
+
+    # -- command dispatch -------------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        """Process one input line (used directly by the tests)."""
+        line = line.strip()
+        if not line:
+            return
+        try:
+            if line.startswith("\\"):
+                self._command(line)
+            else:
+                self._query(line)
+        except ReproError as err:
+            self.out(f"error: {err}")
+
+    def _command(self, line: str) -> None:
+        name, _, rest = line[1:].partition(" ")
+        rest = rest.strip()
+        if name in ("q", "quit", "exit"):
+            self.running = False
+        elif name == "help":
+            self.out(__doc__ or "")
+        elif name == "extents":
+            for extent, size in sorted(self.db.catalog.extent_sizes().items()):
+                self.out(f"  {extent}: {size} elements")
+        elif name == "schema":
+            for cls in self.db.schema.classes():
+                attrs = ", ".join(f"{a}: {t}" for a, t in cls.attributes.items())
+                extent = f" (extent {cls.extent})" if cls.extent else ""
+                sup = f" extends {cls.superclass}" if cls.superclass else ""
+                self.out(f"  class {cls.name}{sup}{extent}: {attrs}")
+        elif name == "explain":
+            self.out(self.db.explain(rest))
+        elif name == "trace":
+            from repro.normalize import normalize_with_trace
+
+            _, trace = normalize_with_trace(self.db.translate(rest))
+            self.out(trace.render())
+        elif name == "plan":
+            result = self.db.run_detailed(rest)
+            self.out(result.pipeline_report())
+        elif name == "calc":
+            value = self.db.run_calculus(parse_calculus(rest))
+            self.out(repr(to_python(value)))
+        elif name == "define":
+            view_name, _, body = rest.partition(" as ")
+            if not body:
+                self.out("usage: \\define <name> as <query>")
+                return
+            self.db.define(view_name.strip(), body.strip())
+            self.out(f"defined view {view_name.strip()}")
+        else:
+            self.out(f"unknown command \\{name} — try \\help")
+
+    def _query(self, oql: str) -> None:
+        value = self.db.run(oql)
+        self.out(repr(to_python(value)))
+
+    # -- loop ----------------------------------------------------------------------
+
+    def run(self, stdin=None) -> None:
+        stream = stdin if stdin is not None else sys.stdin
+        self.out("monoid calculus OQL shell — \\help for commands, \\quit to exit")
+        while self.running:
+            self.out("oql> ")
+            line = stream.readline()
+            if not line:
+                break
+            self.handle(line)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    from repro.db.database import demo_company_database, demo_travel_database
+
+    if args and args[0] == "company":
+        db = demo_company_database()
+    else:
+        db = demo_travel_database()
+    Repl(db).run()
+    return 0

@@ -1,0 +1,182 @@
+"""ODL-style schema declarations: classes, attributes, extents, methods.
+
+OQL queries range over named *extents* (the persistent collections of a
+class) and navigate *attributes* and *relationships* declared on
+classes, possibly through an inheritance hierarchy — the paper's OQL
+examples use a travel-agency schema of Cities, Hotels and Rooms. A
+:class:`Schema` collects those declarations and is consulted by the
+type checker, the OQL translator (to resolve extent names) and the
+database facade (to validate loaded data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SchemaError
+from repro.types.types import ANY, TClass, TColl, Type
+
+
+@dataclass
+class MethodDef:
+    """A method on a class: a Python callable over the receiver's record.
+
+    ``result`` is the declared result type (ANY when unknown).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    result: Type = ANY
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise SchemaError(f"method {self.name!r} is not callable")
+
+
+@dataclass
+class ClassDef:
+    """A class declaration: attributes, optional extent, superclass."""
+
+    name: str
+    attributes: dict[str, Type] = field(default_factory=dict)
+    extent: Optional[str] = None
+    extent_monoid: str = "set"
+    superclass: Optional[str] = None
+    methods: dict[str, MethodDef] = field(default_factory=dict)
+
+    def attribute(self, name: str) -> Optional[Type]:
+        return self.attributes.get(name)
+
+
+class Schema:
+    """A set of class declarations with an extent namespace.
+
+    >>> schema = Schema()
+    >>> from repro.types.types import TSTRING, TINT
+    >>> _ = schema.define_class("City", {"name": TSTRING, "population": TINT},
+    ...                          extent="Cities")
+    >>> schema.extent_type("Cities")
+    TColl(monoid='set', element=TClass(name='City'))
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, ClassDef] = {}
+        self._extents: dict[str, str] = {}  # extent name -> class name
+
+    def define_class(
+        self,
+        name: str,
+        attributes: dict[str, Type] | None = None,
+        extent: str | None = None,
+        extent_monoid: str = "set",
+        superclass: str | None = None,
+    ) -> ClassDef:
+        """Declare a class; optionally give it a named extent."""
+        if name in self._classes:
+            raise SchemaError(f"class {name!r} already defined")
+        if superclass is not None and superclass not in self._classes:
+            raise SchemaError(f"superclass {superclass!r} of {name!r} is not defined")
+        cls = ClassDef(
+            name,
+            dict(attributes or {}),
+            extent=extent,
+            extent_monoid=extent_monoid,
+            superclass=superclass,
+        )
+        self._classes[name] = cls
+        if extent is not None:
+            if extent in self._extents:
+                raise SchemaError(f"extent {extent!r} already defined")
+            self._extents[extent] = name
+        return cls
+
+    def define_method(
+        self,
+        class_name: str,
+        method_name: str,
+        fn: Callable[..., Any],
+        result: Type = ANY,
+        doc: str = "",
+    ) -> MethodDef:
+        """Attach a method to a class."""
+        cls = self.class_def(class_name)
+        method = MethodDef(method_name, fn, result, doc)
+        cls.methods[method_name] = method
+        return method
+
+    # -- lookups ------------------------------------------------------------
+
+    def class_def(self, name: str) -> ClassDef:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class {name!r}") from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def classes(self) -> Iterator[ClassDef]:
+        return iter(self._classes.values())
+
+    def extents(self) -> dict[str, str]:
+        """Extent name -> class name."""
+        return dict(self._extents)
+
+    def has_extent(self, name: str) -> bool:
+        return name in self._extents
+
+    def extent_class(self, name: str) -> ClassDef:
+        try:
+            return self._classes[self._extents[name]]
+        except KeyError:
+            raise SchemaError(f"unknown extent {name!r}") from None
+
+    def extent_type(self, name: str) -> TColl:
+        cls = self.extent_class(name)
+        return TColl(cls.extent_monoid, TClass(cls.name))
+
+    # -- inheritance ------------------------------------------------------------
+
+    def attribute_type(self, class_name: str, attribute: str) -> Optional[Type]:
+        """Attribute type, searching up the superclass chain."""
+        current: Optional[str] = class_name
+        while current is not None:
+            cls = self.class_def(current)
+            ty = cls.attribute(attribute)
+            if ty is not None:
+                return ty
+            current = cls.superclass
+        return None
+
+    def method_def(self, class_name: str, method: str) -> Optional[MethodDef]:
+        """Method definition, searching up the superclass chain."""
+        current: Optional[str] = class_name
+        while current is not None:
+            cls = self.class_def(current)
+            if method in cls.methods:
+                return cls.methods[method]
+            current = cls.superclass
+        return None
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        """True if ``sub`` equals or transitively extends ``sup``."""
+        current: Optional[str] = sub
+        while current is not None:
+            if current == sup:
+                return True
+            current = self.class_def(current).superclass
+        return False
+
+    def all_methods(self) -> dict[str, Callable[..., Any]]:
+        """Flat method-name -> callable map for the evaluator.
+
+        Name collisions across classes resolve to the last definition;
+        the database facade wraps receiver dispatch where needed.
+        """
+        methods: dict[str, Callable[..., Any]] = {}
+        for cls in self._classes.values():
+            for name, mdef in cls.methods.items():
+                methods[name] = mdef.fn
+        return methods

@@ -1,0 +1,158 @@
+"""Types of the monoid calculus.
+
+The paper's type language: base types, record types ``<a1: t1, ...>``,
+collection types ``M(t)`` for each collection monoid ``M``, function
+types, class (object) types with a subtype hierarchy, ``obj(t)`` for
+section 4.2 identities, and vector types ``t[n]`` for section 4.1.
+
+``TAny`` is the gradual-typing escape hatch: the checker is permissive
+where the paper's formal system would demand annotations Python cannot
+supply (e.g. the state type of a raw ``new``), but is strict about the
+things the paper makes static guarantees about — above all the C/I
+restriction on comprehensions and homomorphisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Type:
+    """Base class of all calculus types."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - subclasses override
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class TBase(Type):
+    """A base type: bool, int, float, string, or the unit/none type."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+TBOOL = TBase("bool")
+TINT = TBase("int")
+TFLOAT = TBase("float")
+TSTRING = TBase("string")
+TNONE = TBase("none")
+
+
+@dataclass(frozen=True)
+class TAny(Type):
+    """Unknown type — compatible with everything (gradual typing)."""
+
+    def __str__(self) -> str:
+        return "any"
+
+
+ANY = TAny()
+
+
+@dataclass(frozen=True)
+class TRecord(Type):
+    """Record type ``<a1: t1, ..., an: tn>``."""
+
+    fields: tuple[tuple[str, Type], ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}: {ty}" for name, ty in self.fields)
+        return f"<{inner}>"
+
+    def field_type(self, name: str) -> Optional[Type]:
+        for field_name, ty in self.fields:
+            if field_name == name:
+                return ty
+        return None
+
+
+@dataclass(frozen=True)
+class TTuple(Type):
+    """Tuple type ``(t1, ..., tn)``."""
+
+    items: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return f"({', '.join(str(t) for t in self.items)})"
+
+
+@dataclass(frozen=True)
+class TColl(Type):
+    """Collection type ``M(t)`` — carrier of collection monoid ``M``.
+
+    ``monoid`` is the monoid name (list/set/bag/oset/string/sorted/
+    sortedbag); ``element`` the element type.
+    """
+
+    monoid: str
+    element: Type
+
+    def __str__(self) -> str:
+        return f"{self.monoid}({self.element})"
+
+
+@dataclass(frozen=True)
+class TVector(Type):
+    """Vector type ``t[n]``; ``size`` is None when statically unknown."""
+
+    element: Type
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        size = "?" if self.size is None else str(self.size)
+        return f"{self.element}[{size}]"
+
+
+@dataclass(frozen=True)
+class TFunc(Type):
+    """Function type ``t1 -> t2``."""
+
+    param: Type
+    result: Type
+
+    def __str__(self) -> str:
+        return f"({self.param} -> {self.result})"
+
+
+@dataclass(frozen=True)
+class TClass(Type):
+    """A named class from the schema; attributes live in the schema."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TObj(Type):
+    """``obj(t)`` — an object identity whose state has type ``t``."""
+
+    state: Type
+
+    def __str__(self) -> str:
+        return f"obj({self.state})"
+
+
+def is_numeric(ty: Type) -> bool:
+    """True for int, float or any."""
+    return ty in (TINT, TFLOAT) or isinstance(ty, TAny)
+
+
+def is_bool(ty: Type) -> bool:
+    return ty == TBOOL or isinstance(ty, TAny)
+
+
+def join_numeric(left: Type, right: Type) -> Type:
+    """The wider of two numeric types (int joins to float)."""
+    if isinstance(left, TAny) or isinstance(right, TAny):
+        return ANY
+    if TFLOAT in (left, right):
+        return TFLOAT
+    return TINT

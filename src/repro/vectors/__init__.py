@@ -1,0 +1,30 @@
+"""Vectors and arrays as monoids (section 4.1)."""
+
+from repro.vectors.comprehension import at, vcomp, vec, veval
+from repro.vectors.linalg import (
+    VECTOR_BUILTINS,
+    fft_query,
+    histogram_query,
+    inner_product_query,
+    matmul_query,
+    permute_query,
+    reverse_query,
+    subsequence_query,
+    transpose_query,
+)
+
+__all__ = [
+    "VECTOR_BUILTINS",
+    "at",
+    "fft_query",
+    "histogram_query",
+    "inner_product_query",
+    "matmul_query",
+    "permute_query",
+    "reverse_query",
+    "subsequence_query",
+    "transpose_query",
+    "vcomp",
+    "vec",
+    "veval",
+]

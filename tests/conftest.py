@@ -1,0 +1,36 @@
+"""Shared fixtures: sample databases and evaluators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import (
+    Database,
+    company_schema,
+    make_company,
+    make_travel_agency,
+    travel_schema,
+)
+from repro.eval import Evaluator
+
+
+@pytest.fixture
+def travel_db() -> Database:
+    """A small deterministic travel-agency database."""
+    db = Database(travel_schema())
+    db.load_extents(make_travel_agency(num_cities=5, hotels_per_city=3,
+                                       rooms_per_hotel=4, seed=7))
+    return db
+
+
+@pytest.fixture
+def company_db() -> Database:
+    """A small deterministic company database (Departments/Employees)."""
+    db = Database(company_schema())
+    db.load_extents(make_company(num_departments=4, num_employees=40, seed=11))
+    return db
+
+
+@pytest.fixture
+def evaluator() -> Evaluator:
+    return Evaluator()

@@ -1,0 +1,140 @@
+"""Canonical comprehension -> logical plan shapes."""
+
+import pytest
+
+from repro.algebra import Join, Reduce, Scan, SelectOp, Unnest, build_plan
+from repro.calculus import bind, comp, const, eq, filt, gen, gt, new, proj, var
+from repro.errors import PlanError
+from repro.oql import translate_oql
+
+
+def test_single_scan():
+    plan = build_plan(translate_oql("select distinct c from c in Cities"))
+    assert isinstance(plan, Reduce)
+    assert isinstance(plan.child, Scan)
+    assert plan.child.var == "c"
+
+
+def test_selection_above_scan():
+    plan = build_plan(
+        translate_oql("select distinct c from c in Cities where c.pop > 5")
+    )
+    assert isinstance(plan.child, SelectOp)
+    assert isinstance(plan.child.child, Scan)
+
+
+def test_dependent_generator_becomes_unnest():
+    plan = build_plan(
+        translate_oql("select distinct h from c in Cities, h in c.hotels")
+    )
+    assert isinstance(plan.child, Unnest)
+    assert plan.child.var == "h"
+
+
+def test_independent_generators_become_join():
+    plan = build_plan(translate_oql("select distinct 1 from a in Ls, b in Rs"))
+    assert isinstance(plan.child, Join)
+    assert plan.child.left_keys == ()
+
+
+def test_equi_join_keys_detected():
+    plan = build_plan(
+        translate_oql(
+            "select distinct 1 from a in Ls, b in Rs where a.k = b.k"
+        )
+    )
+    join = plan.child
+    assert isinstance(join, Join)
+    assert len(join.left_keys) == 1
+    assert str(join.left_keys[0]) == "a.k"
+    assert str(join.right_keys[0]) == "b.k"
+
+
+def test_swapped_equi_join_keys_detected():
+    plan = build_plan(
+        translate_oql(
+            "select distinct 1 from a in Ls, b in Rs where b.k = a.k"
+        )
+    )
+    join = plan.child
+    assert len(join.left_keys) == 1
+    assert str(join.left_keys[0]) == "a.k"
+
+
+def test_predicates_pushed_to_earliest_operator():
+    plan = build_plan(
+        translate_oql(
+            "select distinct b from a in Ls, b in Rs "
+            "where a.x > 1 and b.y > 2"
+        )
+    )
+    # a.x > 1 must sit below the join, on the left input
+    join = plan.child
+    assert isinstance(join, Join)
+    assert isinstance(join.left, SelectOp)
+    assert str(join.left.pred) == "(a.x > 1)"
+    assert isinstance(join.right, SelectOp)
+
+
+def test_bind_becomes_singleton_unnest():
+    term = comp(
+        "set",
+        var("y"),
+        [gen("x", var("Xs")), filt(new_pred := gt(var("x"), const(0)))],
+    )
+    # leftover Bind (kept by a purity guard) is handled too
+    from repro.calculus.ast import Bind as BindQ, Comprehension
+
+    with_bind = Comprehension(
+        term.monoid, var("y"), term.qualifiers + (BindQ("y", var("x")),)
+    )
+    plan = build_plan(with_bind, pre_normalize=False)
+    assert isinstance(plan.child, Unnest)
+
+
+def test_effectful_comprehension_rejected():
+    term = comp("set", var("x"), [bind("x", new(const(1)))])
+    with pytest.raises(PlanError):
+        build_plan(term, pre_normalize=False)
+
+
+def test_degenerate_empty_plan():
+    from repro.calculus import zero
+    from repro.algebra import execute_plan
+
+    plan = build_plan(zero("set"), pre_normalize=False)
+    assert execute_plan(plan) == frozenset()
+
+
+def test_degenerate_singleton_plan():
+    from repro.calculus import unit
+    from repro.algebra import execute_plan
+
+    plan = build_plan(unit("bag", const(3)), pre_normalize=False)
+    from repro.values import Bag
+
+    assert execute_plan(plan) == Bag([3])
+
+
+def test_no_generator_comprehension_guards():
+    from repro.algebra import execute_plan
+
+    term = comp("sum", const(5), [filt(var("p"))])
+    plan = build_plan(term, pre_normalize=False)
+    assert execute_plan(plan, {"p": True}) == 5
+    assert execute_plan(plan, {"p": False}) == 0
+
+
+def test_render_tree():
+    plan = build_plan(
+        translate_oql("select distinct h from c in Cities, h in c.hotels where h.stars = 5")
+    )
+    out = plan.render()
+    assert "Reduce" in out and "Unnest" in out and "Scan" in out
+
+
+def test_columns_tracking():
+    plan = build_plan(
+        translate_oql("select distinct h from c in Cities, h in c.hotels")
+    )
+    assert plan.child.columns() == frozenset({"c", "h"})

@@ -1,0 +1,111 @@
+"""AST construction, immutability, hashing and pretty printing."""
+
+import pytest
+
+from repro.calculus import (
+    Comprehension,
+    Const,
+    Generator,
+    MonoidRef,
+    Var,
+    bind,
+    comp,
+    const,
+    eq,
+    filt,
+    gen,
+    lam,
+    merge,
+    mref,
+    pretty_block,
+    proj,
+    rec,
+    tup,
+    unit,
+    var,
+    vec_ref,
+    zero,
+)
+
+
+def test_nodes_are_hashable_and_comparable():
+    a = comp("set", var("x"), [gen("x", var("db"))])
+    b = comp("set", var("x"), [gen("x", var("db"))])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_nodes_are_immutable():
+    node = var("x")
+    with pytest.raises(Exception):
+        node.name = "y"
+
+
+def test_comprehension_str_matches_paper_notation():
+    term = comp(
+        "set",
+        tup(var("a"), var("b")),
+        [gen("a", const((1, 2, 3))), gen("b", const((4, 5)))],
+    )
+    assert str(term) == "set{ (a, b) | a <- (1, 2, 3), b <- (4, 5) }"
+
+
+def test_empty_comprehension_str():
+    assert str(comp("bag", const(1))) == "bag{ 1 }"
+
+
+def test_qualifier_strs():
+    assert str(gen("x", var("db"))) == "x <- db"
+    assert str(gen("a", var("x"), at="i")) == "a[i] <- x"
+    assert str(bind("v", const(3))) == "v == 3"
+    assert str(filt(eq(var("x"), const(1)))) == "(x = 1)"
+
+
+def test_monoid_ref_str_forms():
+    assert str(mref("bag")) == "bag"
+    sorted_ref = MonoidRef("sorted", key=lam("x", var("x")))
+    assert str(sorted_ref) == "sorted[\\x. x]"
+    assert str(vec_ref("sum", 8)) == "sum[8]"
+
+
+def test_zero_unit_merge_strs():
+    assert str(zero("set")) == "zero(set)"
+    assert str(unit("set", const(1))) == "unit(set)(1)"
+    assert str(unit(vec_ref("sum", 4), const(8), at=const(2))) == "unit(sum[4])(8 @ 2)"
+    assert str(merge("bag", zero("bag"), zero("bag"))) == "(zero(bag) (+)bag zero(bag))"
+
+
+def test_const_str_booleans_and_strings():
+    assert str(const(True)) == "true"
+    assert str(const(False)) == "false"
+    assert str(const("hi")) == "'hi'"
+    assert str(const(3)) == "3"
+
+
+def test_record_and_path_strs():
+    assert str(rec(a=const(1), b=var("x"))) == "<a=1, b=x>"
+    assert str(proj(var("c"), "hotels", "name")) == "c.hotels.name"
+
+
+def test_record_field_map():
+    node = rec(a=const(1), b=const(2))
+    assert node.field_map() == {"a": Const(1), "b": Const(2)}
+
+
+def test_pretty_block_multiline():
+    term = comp("set", var("x"), [gen("x", var("db")), eq(var("x"), const(1))])
+    out = pretty_block(term)
+    assert out.splitlines()[0] == "set{ x |"
+    assert out.splitlines()[-1] == "}"
+    assert "x <- db" in out
+
+
+def test_generator_defaults():
+    g = Generator("x", Var("db"))
+    assert g.index_var is None
+
+
+def test_vector_monoid_ref_flags():
+    assert vec_ref("sum", 4).is_vector
+    assert not mref("set").is_vector

@@ -1,0 +1,200 @@
+"""The calculus-notation parser, incl. round trips with the printer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus import (
+    alpha_equal,
+    bind,
+    comp,
+    const,
+    deref,
+    eq,
+    filt,
+    gen,
+    lt,
+    pretty,
+    proj,
+    tup,
+    var,
+)
+from repro.calculus.ast import (
+    Assign,
+    BinOp,
+    Comprehension,
+    Const,
+    Deref,
+    Empty,
+    Hom,
+    If,
+    Lambda,
+    Let,
+    Merge,
+    MonoidRef,
+    New,
+    RecordCons,
+    Singleton,
+    Var,
+)
+from repro.calculus.parser import parse_calculus
+from repro.errors import CalculusError
+from repro.eval import evaluate
+from repro.values import Bag
+
+
+class TestBasicTerms:
+    def test_literals(self):
+        assert parse_calculus("42") == Const(42)
+        assert parse_calculus("4.5") == Const(4.5)
+        assert parse_calculus("'hi'") == Const("hi")
+        assert parse_calculus("true") == Const(True)
+        assert parse_calculus("false") == Const(False)
+        assert parse_calculus("none") == Const(None)
+
+    def test_variables_and_paths(self):
+        assert parse_calculus("x") == Var("x")
+        assert parse_calculus("c.hotels.name") == proj(var("c"), "hotels", "name")
+
+    def test_operators_and_precedence(self):
+        term = parse_calculus("1 + 2 * 3")
+        assert isinstance(term, BinOp) and term.op == "+"
+        assert term.right == BinOp("*", Const(2), Const(3))
+
+    def test_comparisons_and_booleans(self):
+        term = parse_calculus("a < b and not (c = d)")
+        assert term.op == "and"
+
+    def test_tuples_and_records(self):
+        assert parse_calculus("(1, 2)") == tup(const(1), const(2))
+        record = parse_calculus("<a=1, b=x>")
+        assert isinstance(record, RecordCons)
+        assert record.field_map()["b"] == Var("x")
+
+    def test_empty_record(self):
+        assert parse_calculus("<>") == RecordCons(())
+
+    def test_lambda_let_if(self):
+        assert isinstance(parse_calculus("\\x. x + 1"), Lambda)
+        term = parse_calculus("let x = 1 in x + 1")
+        assert isinstance(term, Let)
+        assert isinstance(parse_calculus("if a then 1 else 2"), If)
+
+    def test_membership(self):
+        term = parse_calculus("3 in xs")
+        assert term == BinOp("in", Const(3), Var("xs"))
+
+    def test_calls_and_methods(self):
+        assert parse_calculus("count(xs)").name == "count"
+        term = parse_calculus("h.cheapest_room().price")
+        assert pretty(term) == "h.cheapest_room().price"
+
+    def test_indexing(self):
+        assert pretty(parse_calculus("xs[2]")) == "xs[2]"
+
+
+class TestMonoidForms:
+    def test_zero_unit_merge(self):
+        assert parse_calculus("zero(set)") == Empty(MonoidRef("set"))
+        unit = parse_calculus("unit(bag)(3)")
+        assert isinstance(unit, Singleton) and unit.monoid.name == "bag"
+        merged = parse_calculus("unit(list)(1) (+)list unit(list)(2)")
+        assert isinstance(merged, Merge)
+        assert evaluate(merged) == (1, 2)
+
+    def test_vector_unit(self):
+        term = parse_calculus("unit(sum[4])(8 @ 2)")
+        assert evaluate(term).to_list() == [0, 0, 8, 0]
+
+    def test_unknown_monoid_rejected(self):
+        with pytest.raises(CalculusError):
+            parse_calculus("zero(tree)")
+
+    def test_hom(self):
+        term = parse_calculus("hom[list -> sum](\\x. x)(xs)")
+        assert isinstance(term, Hom)
+        assert evaluate(term, {"xs": (1, 2, 3)}) == 6
+
+
+class TestComprehensions:
+    def test_flagship_example(self):
+        term = parse_calculus("set{ (a, b) | a <- Xs, b <- Ys }")
+        assert isinstance(term, Comprehension)
+        out = evaluate(term, {"Xs": (1, 2), "Ys": Bag([3])})
+        assert out == frozenset({(1, 3), (2, 3)})
+
+    def test_predicates_and_bindings(self):
+        term = parse_calculus("sum{ y | x <- Xs, y == x * x, y < 10 }")
+        assert evaluate(term, {"Xs": (1, 2, 3, 4)}) == 1 + 4 + 9
+
+    def test_no_qualifiers(self):
+        term = parse_calculus("bag{ 7 }")
+        assert evaluate(term) == Bag([7])
+
+    def test_nested(self):
+        term = parse_calculus("set{ x | s <- set{ c.hotels | c <- Cities }, x <- s }")
+        assert isinstance(term.qualifiers[0].source, Comprehension)
+
+    def test_sorted_comprehension(self):
+        term = parse_calculus("sorted[\\x. x]{ x | x <- Xs }")
+        assert evaluate(term, {"Xs": (3, 1, 2)}) == (1, 2, 3)
+
+    def test_vector_comprehension_with_indexed_generator(self):
+        term = parse_calculus("sum[4]{ a @ 3 - i | a[i] <- x }")
+        from repro.values import Vector
+
+        out = evaluate(term, {"x": Vector.from_dense([1, 2, 3, 4])})
+        assert out.to_list() == [4, 3, 2, 1]
+
+    def test_object_operations(self):
+        term = parse_calculus(
+            "list{ !x | x == new(0), e <- xs, x := !x + e }"
+        )
+        assert evaluate(term, {"xs": (1, 2, 3)}) == (1, 3, 6)
+
+    def test_deref_and_assign_shapes(self):
+        assert isinstance(parse_calculus("!x"), Deref)
+        assert isinstance(parse_calculus("x := 2"), Assign)
+        assert isinstance(parse_calculus("new(1)"), New)
+
+
+class TestRoundTrips:
+    CASES = [
+        comp("set", tup(var("a"), var("b")), [gen("a", var("Xs")), gen("b", var("Ys"))]),
+        comp("sum", var("x"), [gen("x", var("Xs")), lt(var("x"), const(5))]),
+        comp("bag", proj(var("c"), "name"),
+             [gen("c", var("Cities")), eq(proj(var("c"), "state"), const("OR"))]),
+        comp("some", eq(var("x"), const(1)), [gen("x", var("Xs"))]),
+        comp("set", var("y"), [gen("x", var("Xs")), bind("y", proj(var("x"), "a"))]),
+    ]
+
+    @pytest.mark.parametrize("term", CASES, ids=[str(c)[:40] for c in CASES])
+    def test_pretty_parse_round_trip(self, term):
+        assert alpha_equal(parse_calculus(pretty(term)), term)
+
+    def test_round_trip_preserves_semantics(self):
+        term = comp(
+            "set",
+            tup(var("a"), var("b")),
+            [gen("a", var("Xs")), gen("b", var("Ys")), lt(var("a"), var("b"))],
+        )
+        data = {"Xs": (1, 2, 3), "Ys": Bag([2, 3])}
+        assert evaluate(parse_calculus(pretty(term)), data) == evaluate(term, data)
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(CalculusError, match="trailing"):
+            parse_calculus("1 2")
+
+    def test_bad_token(self):
+        with pytest.raises(CalculusError):
+            parse_calculus("a ; b")
+
+    def test_unclosed_comprehension(self):
+        with pytest.raises(CalculusError):
+            parse_calculus("set{ x | x <- Xs")
+
+    def test_hom_requires_lambda(self):
+        with pytest.raises(CalculusError, match="lambda"):
+            parse_calculus("hom[list -> sum](3)(xs)")

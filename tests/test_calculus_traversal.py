@@ -1,0 +1,158 @@
+"""Free variables, substitution (capture avoidance), alpha equality."""
+
+from repro.calculus import (
+    alpha_equal,
+    bind,
+    comp,
+    const,
+    eq,
+    free_vars,
+    fresh_var,
+    gen,
+    has_effects,
+    lam,
+    let,
+    new,
+    proj,
+    substitute,
+    substitute_many,
+    subterms,
+    term_size,
+    tup,
+    var,
+)
+from repro.calculus.ast import Comprehension, Generator, Lambda, Var
+
+
+class TestFreeVars:
+    def test_const_has_none(self):
+        assert free_vars(const(1)) == frozenset()
+
+    def test_var_is_free(self):
+        assert free_vars(var("x")) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_vars(lam("x", var("x"))) == frozenset()
+        assert free_vars(lam("x", var("y"))) == {"y"}
+
+    def test_let_binds_body_not_value(self):
+        term = let("x", var("x"), var("x"))
+        assert free_vars(term) == {"x"}  # the value's x is free
+
+    def test_comprehension_generator_scoping(self):
+        term = comp("set", var("x"), [gen("x", var("db"))])
+        assert free_vars(term) == {"db"}
+
+    def test_generator_source_sees_earlier_binders_only(self):
+        term = comp(
+            "set",
+            var("y"),
+            [gen("x", var("db")), gen("y", proj(var("x"), "items"))],
+        )
+        assert free_vars(term) == {"db"}
+
+    def test_bind_qualifier_scoping(self):
+        term = comp("set", var("v"), [bind("v", var("u"))])
+        assert free_vars(term) == {"u"}
+
+    def test_index_var_is_bound(self):
+        term = comp("set", tup(var("a"), var("i")), [gen("a", var("x"), at="i")])
+        assert free_vars(term) == {"x"}
+
+    def test_sorted_key_counts(self):
+        from repro.calculus.ast import MonoidRef
+
+        ref = MonoidRef("sorted", key=lam("p", proj(var("p"), var_name := "k")))
+        term = Comprehension(ref, var("x"), (Generator("x", var("db")),))
+        assert free_vars(term) == {"db"}
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute(var("x"), "x", const(1)) == const(1)
+
+    def test_shadowed_by_lambda(self):
+        term = lam("x", var("x"))
+        assert substitute(term, "x", const(1)) == term
+
+    def test_capture_avoidance_in_lambda(self):
+        # (\y. x)[y/x] must NOT become \y. y
+        term = lam("y", var("x"))
+        result = substitute(term, "x", var("y"))
+        assert isinstance(result, Lambda)
+        assert result.body == var("y")
+        assert result.param != "y"
+
+    def test_capture_avoidance_in_comprehension(self):
+        # set{ x | y <- db }[y/x]: the generator's y must be renamed
+        term = comp("set", var("x"), [gen("y", var("db"))])
+        result = substitute(term, "x", var("y"))
+        assert isinstance(result, Comprehension)
+        generator = result.qualifiers[0]
+        assert generator.var != "y"
+        assert result.head == var("y")
+
+    def test_substitution_into_generator_source(self):
+        term = comp("set", var("x"), [gen("x", var("src"))])
+        result = substitute(term, "src", var("db"))
+        assert result.qualifiers[0].source == var("db")
+
+    def test_generator_var_shadows_in_suffix(self):
+        term = comp("set", var("x"), [gen("x", var("x"))])
+        result = substitute(term, "x", const(1))
+        # the source x was free, the head x was bound
+        assert result.qualifiers[0].source == const(1)
+        assert result.head == Var(result.qualifiers[0].var)
+
+    def test_substitute_many_is_simultaneous(self):
+        term = tup(var("a"), var("b"))
+        result = substitute_many(term, {"a": var("b"), "b": var("a")})
+        assert result == tup(var("b"), var("a"))
+
+    def test_no_op_mapping(self):
+        term = var("x")
+        assert substitute_many(term, {}) is term
+
+
+class TestAlphaEquality:
+    def test_alpha_equal_lambdas(self):
+        assert alpha_equal(lam("x", var("x")), lam("y", var("y")))
+
+    def test_alpha_unequal_free_vars(self):
+        assert not alpha_equal(lam("x", var("a")), lam("x", var("b")))
+
+    def test_alpha_equal_comprehensions(self):
+        a = comp("set", var("x"), [gen("x", var("db")), eq(var("x"), const(1))])
+        b = comp("set", var("y"), [gen("y", var("db")), eq(var("y"), const(1))])
+        assert alpha_equal(a, b)
+
+    def test_alpha_distinguishes_monoids(self):
+        a = comp("set", var("x"), [gen("x", var("db"))])
+        b = comp("bag", var("x"), [gen("x", var("db"))])
+        assert not alpha_equal(a, b)
+
+    def test_alpha_distinguishes_structure(self):
+        assert not alpha_equal(const(1), var("x"))
+        assert not alpha_equal(eq(var("x"), const(1)), eq(const(1), var("x")))
+
+
+class TestStructuralHelpers:
+    def test_subterms_preorder(self):
+        term = eq(var("x"), const(1))
+        nodes = list(subterms(term))
+        assert nodes[0] is term
+        assert var("x") in nodes and const(1) in nodes
+
+    def test_term_size(self):
+        assert term_size(const(1)) == 1
+        assert term_size(eq(var("x"), const(1))) == 3
+
+    def test_has_effects_detects_new(self):
+        assert has_effects(new(const(1)))
+        assert has_effects(comp("set", var("x"), [bind("x", new(const(1)))]))
+        assert not has_effects(comp("set", var("x"), [gen("x", var("db"))]))
+
+    def test_fresh_var_unique_and_marked(self):
+        a, b = fresh_var("x"), fresh_var("x")
+        assert a != b
+        assert "~" in a

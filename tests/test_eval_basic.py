@@ -1,0 +1,233 @@
+"""Reference evaluator: operators, data constructors, errors."""
+
+import pytest
+
+from repro.calculus import (
+    add,
+    and_,
+    apply,
+    binop,
+    call,
+    const,
+    div,
+    eq,
+    ge,
+    gt,
+    if_,
+    in_,
+    index,
+    lam,
+    le,
+    let,
+    lt,
+    mul,
+    ne,
+    neg,
+    not_,
+    or_,
+    proj,
+    rec,
+    sub,
+    tup,
+    var,
+)
+from repro.errors import EvaluationError, UnboundVariableError
+from repro.eval import Evaluator, evaluate
+from repro.values import Bag, OrderedSet, Record, Vector
+
+
+class TestLiteralsAndVariables:
+    def test_const(self):
+        assert evaluate(const(42)) == 42
+        assert evaluate(const("s")) == "s"
+        assert evaluate(const(None)) is None
+
+    def test_const_freezes_python_literals(self):
+        assert evaluate(const([1, [2]])) == (1, (2,))
+        assert evaluate(const({"a": 1})) == Record(a=1)
+        assert evaluate(const({1, 2})) == frozenset({1, 2})
+
+    def test_global_bindings(self):
+        assert evaluate(var("x"), {"x": 9}) == 9
+
+    def test_unbound_variable(self):
+        with pytest.raises(UnboundVariableError):
+            evaluate(var("nope"))
+
+
+class TestArithmeticAndComparison:
+    def test_arithmetic(self):
+        assert evaluate(add(const(2), const(3))) == 5
+        assert evaluate(sub(const(2), const(3))) == -1
+        assert evaluate(mul(const(2), const(3))) == 6
+        assert evaluate(div(const(7), const(2))) == 3.5
+        assert evaluate(binop("div", const(7), const(2))) == 3
+        assert evaluate(binop("mod", const(7), const(2))) == 1
+
+    def test_string_concatenation(self):
+        assert evaluate(add(const("a"), const("b"))) == "ab"
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            evaluate(div(const(1), const(0)))
+
+    def test_arithmetic_type_errors(self):
+        with pytest.raises(EvaluationError):
+            evaluate(add(const(1), const("x")))
+        with pytest.raises(EvaluationError):
+            evaluate(add(const(True), const(1)))
+
+    def test_comparisons(self):
+        assert evaluate(lt(const(1), const(2))) is True
+        assert evaluate(le(const(2), const(2))) is True
+        assert evaluate(gt(const(1), const(2))) is False
+        assert evaluate(ge(const(3), const(2))) is True
+        assert evaluate(eq(const(1), const(1))) is True
+        assert evaluate(ne(const(1), const(2))) is True
+
+    def test_equality_is_deep(self):
+        assert evaluate(eq(const((1, 2)), const([1, 2]))) is True
+
+    def test_incomparable_types(self):
+        with pytest.raises(EvaluationError):
+            evaluate(lt(const(1), const("x")))
+
+    def test_negation(self):
+        assert evaluate(neg(const(3))) == -3
+        with pytest.raises(EvaluationError):
+            evaluate(neg(const("x")))
+
+
+class TestBooleans:
+    def test_short_circuit_and(self):
+        # right side would raise if evaluated
+        term = and_(const(False), div(const(1), const(0)))
+        assert evaluate(term) is False
+
+    def test_short_circuit_or(self):
+        term = or_(const(True), div(const(1), const(0)))
+        assert evaluate(term) is True
+
+    def test_boolean_strictness(self):
+        with pytest.raises(EvaluationError):
+            evaluate(and_(const(1), const(True)))
+        with pytest.raises(EvaluationError):
+            evaluate(not_(const(0)))
+
+    def test_not(self):
+        assert evaluate(not_(const(False))) is True
+
+
+class TestMembershipAndSetOps:
+    def test_in_list(self):
+        assert evaluate(in_(const(2), const((1, 2)))) is True
+        assert evaluate(in_(const(5), const((1, 2)))) is False
+
+    def test_in_set_and_bag(self):
+        assert evaluate(in_(const(1), const(frozenset({1})))) is True
+        assert evaluate(in_(const(1), const(Bag([1, 1])))) is True
+
+    def test_union_sets(self):
+        term = binop("union", const(frozenset({1})), const(frozenset({2})))
+        assert evaluate(term) == frozenset({1, 2})
+
+    def test_intersect_and_except_bags(self):
+        a, b = Bag([1, 1, 2]), Bag([1, 2, 2])
+        assert evaluate(binop("intersect", const(a), const(b))) == Bag([1, 2])
+        assert evaluate(binop("except", const(a), const(b))) == Bag([1])
+
+    def test_union_type_mismatch(self):
+        with pytest.raises(EvaluationError):
+            evaluate(binop("intersect", const(frozenset()), const(Bag())))
+
+
+class TestDataConstructors:
+    def test_record_construction_and_projection(self):
+        term = proj(rec(a=const(1), b=const(2)), "b")
+        assert evaluate(term) == 2
+
+    def test_projection_from_non_record(self):
+        with pytest.raises(EvaluationError):
+            evaluate(proj(const(3), "a"))
+
+    def test_tuple_construction_and_indexing(self):
+        assert evaluate(index(tup(const("a"), const("b")), const(1))) == "b"
+
+    def test_vector_indexing(self):
+        v = Vector.from_dense([9, 8, 7])
+        assert evaluate(index(var("v"), const(2)), {"v": v}) == 7
+
+    def test_oset_indexing(self):
+        assert evaluate(index(var("s"), const(0)), {"s": OrderedSet([5, 6])}) == 5
+
+    def test_bad_index(self):
+        with pytest.raises(EvaluationError):
+            evaluate(index(const((1,)), const(5)))
+
+
+class TestFunctions:
+    def test_lambda_and_apply(self):
+        term = apply(lam("x", add(var("x"), const(1))), const(41))
+        assert evaluate(term) == 42
+
+    def test_closure_captures_environment(self):
+        term = let("y", const(10), apply(lam("x", add(var("x"), var("y"))), const(1)))
+        assert evaluate(term) == 11
+
+    def test_let(self):
+        assert evaluate(let("x", const(5), mul(var("x"), var("x")))) == 25
+
+    def test_if(self):
+        assert evaluate(if_(const(True), const(1), const(2))) == 1
+        assert evaluate(if_(const(False), const(1), const(2))) == 2
+
+    def test_if_requires_boolean(self):
+        with pytest.raises(EvaluationError):
+            evaluate(if_(const(1), const(1), const(2)))
+
+    def test_apply_non_function(self):
+        with pytest.raises(EvaluationError):
+            evaluate(apply(const(3), const(4)))
+
+
+class TestBuiltins:
+    def test_count_and_length(self):
+        assert evaluate(call("count", const((1, 1, 2)))) == 3
+        assert evaluate(call("count", const(Bag([1, 1])))) == 2
+        assert evaluate(call("count", const(frozenset({1, 2})))) == 2
+
+    def test_element(self):
+        assert evaluate(call("element", const((7,)))) == 7
+        with pytest.raises(EvaluationError):
+            evaluate(call("element", const((1, 2))))
+
+    def test_flatten_follows_outer_monoid(self):
+        nested = Bag([(1, 2), (2,)])
+        assert evaluate(call("flatten", const(nested))) == Bag([1, 2, 2])
+
+    def test_conversions(self):
+        assert evaluate(call("to_set", const((1, 1)))) == frozenset({1})
+        assert evaluate(call("to_bag", const((1, 1)))) == Bag([1, 1])
+        assert evaluate(call("to_list", const(frozenset({2, 1})))) == (1, 2)
+
+    def test_first_last_range(self):
+        assert evaluate(call("first", const((4, 5)))) == 4
+        assert evaluate(call("last", const((4, 5)))) == 5
+        assert evaluate(call("range", const(3))) == (0, 1, 2)
+
+    def test_avg(self):
+        assert evaluate(call("avg", const((2, 4)))) == 3.0
+        with pytest.raises(EvaluationError):
+            evaluate(call("avg", const(())))
+
+    def test_unknown_function(self):
+        with pytest.raises(EvaluationError, match="unknown function"):
+            evaluate(call("mystery", const(1)))
+
+    def test_user_function_registration(self):
+        ev = Evaluator(functions={"double": lambda x: 2 * x})
+        assert ev.evaluate(call("double", const(21))) == 42
+
+    def test_env_function_shadows_builtin(self):
+        ev = Evaluator({"count": lambda x: -1})
+        assert ev.evaluate(call("count", const((1,)))) == -1

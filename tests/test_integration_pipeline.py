@@ -1,0 +1,106 @@
+"""End-to-end integration: a catalogue of OQL queries through every path.
+
+Each query is answered three ways — interpreter on the raw translation,
+interpreter on the normalized term, and the optimized algebra plan — and
+all answers must coincide. This pins down the whole pipeline at once.
+"""
+
+import pytest
+
+from repro.db import Database, demo_company_database, demo_travel_database
+from repro.eval import evaluate
+from repro.normalize import normalize
+from repro.values import to_python
+
+TRAVEL_QUERIES = [
+    "select distinct c.name from c in Cities",
+    "select distinct c.name from c in Cities where c.population > 100000",
+    "select h.name from c in Cities, h in c.hotels",
+    "select distinct h.name from c in Cities, h in c.hotels "
+    "where c.name = 'Portland' and h.stars >= 3",
+    "select distinct r.beds from c in Cities, h in c.hotels, r in h.rooms",
+    "select distinct c.name from c in Cities "
+    "where exists h in c.hotels : h.stars = 5",
+    "select distinct c.name from c in Cities "
+    "where for all h in c.hotels : h.stars >= 1",
+    "sum(select h.stars from c in Cities, h in c.hotels)",
+    "max(select r.price from c in Cities, h in c.hotels, r in h.rooms)",
+    "min(select r.price from c in Cities, h in c.hotels, r in h.rooms)",
+    "count(select h from c in Cities, h in c.hotels)",
+    "avg(select h.stars from c in Cities, h in c.hotels)",
+    "select distinct struct(city: c.name, hotel: h.name) "
+    "from c in Cities, h in c.hotels where h.stars = 5",
+    "select distinct f from c in Cities, h in c.hotels, f in h.facilities",
+    "select distinct c.name from c in Cities where 'pool' in "
+    "flatten(select h.facilities from h in c.hotels)",
+    "select h.name from c in Cities, h in c.hotels order by h.stars desc",
+    "select distinct c.name from c in Cities where c.has_luxury()",
+    "select struct(s: stars, n: count(partition)) "
+    "from c in Cities, h in c.hotels group by stars: h.stars",
+    "select distinct h.name from h in "
+    "(select distinct x from c in Cities, x in c.hotels where c.name = 'Portland')",
+    "element(select distinct c from c in Cities where c.name = 'Portland')",
+]
+
+COMPANY_QUERIES = [
+    "select e.name from e in Employees where e.salary > 100000",
+    "select distinct struct(e: e.name, d: d.name) "
+    "from e in Employees, d in Departments where e.dno = d.dno",
+    "select distinct d.name from d in Departments "
+    "where exists e in Employees : e.dno = d.dno and e.salary > 150000",
+    "sum(select e.salary from e in Employees)",
+    "count(Employees)",
+    "select distinct e.name from e in Employees where 'oql' in e.skills",
+    "select struct(d: dno, total: sum(select p.salary from p in partition)) "
+    "from e in Employees group by dno: e.dno",
+    "select e.name from e in Employees order by e.salary desc, e.name",
+    "select distinct e.name from e in Employees, d in Departments "
+    "where e.dno = d.dno and d.floor > 5",
+]
+
+
+@pytest.mark.parametrize("query", TRAVEL_QUERIES)
+def test_travel_queries_all_paths_agree(travel_db, query):
+    _assert_paths_agree(travel_db, query)
+
+
+@pytest.mark.parametrize("query", COMPANY_QUERIES)
+def test_company_queries_all_paths_agree(company_db, query):
+    _assert_paths_agree(company_db, query)
+
+
+@pytest.mark.parametrize("query", COMPANY_QUERIES)
+def test_company_queries_with_indexes(company_db, query):
+    baseline = company_db.run(query, engine="interpret")
+    company_db.create_index("Departments", "dno")
+    company_db.create_index("Employees", "dno")
+    assert company_db.run(query, engine="auto") == baseline
+
+
+def test_results_scale_with_data():
+    small = demo_travel_database(num_cities=2, seed=3)
+    large = demo_travel_database(num_cities=8, seed=3)
+    q = "count(select h from c in Cities, h in c.hotels)"
+    assert small.run(q) < large.run(q)
+
+
+def test_normalization_never_changes_results_on_catalogue(travel_db):
+    for query in TRAVEL_QUERIES:
+        term = travel_db.translate(query)
+        ev = travel_db.evaluator()
+        assert ev.evaluate(normalize(term)) == ev.evaluate(term), query
+
+
+def test_company_pipeline_report_is_printable(company_db):
+    result = company_db.run_detailed(COMPANY_QUERIES[1])
+    report = result.pipeline_report()
+    assert "Join" in report or "Unnest" in report
+
+
+def _assert_paths_agree(db: Database, query: str) -> None:
+    raw = db.translate(query)
+    direct = db.evaluator().evaluate(raw)
+    normalized_value = db.evaluator().evaluate(normalize(raw))
+    auto = db.run(query, engine="auto")
+    interp = db.run(query, engine="interpret")
+    assert direct == normalized_value == auto == interp, query

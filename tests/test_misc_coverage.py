@@ -1,0 +1,175 @@
+"""Edge cases across small modules: errors, env, pretty, catalog, veval."""
+
+import pytest
+
+from repro.calculus import comp, const, eq, filt, gen, pretty_block, var
+from repro.calculus.pretty import describe_qualifier
+from repro.db.catalog import Catalog
+from repro.errors import (
+    DatabaseError,
+    OQLSyntaxError,
+    ReproError,
+    UnboundVariableError,
+    UnknownMonoidError,
+)
+from repro.eval.env import Env
+from repro.values import Bag
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for err_type in (DatabaseError, OQLSyntaxError, UnboundVariableError):
+            assert issubclass(err_type, ReproError)
+
+    def test_unbound_variable_message(self):
+        err = UnboundVariableError("foo")
+        assert "foo" in str(err)
+        assert err.name == "foo"
+
+    def test_unknown_monoid_lists_known(self):
+        err = UnknownMonoidError("tree", ["set", "bag"])
+        assert "tree" in str(err) and "bag" in str(err)
+
+    def test_syntax_error_position(self):
+        err = OQLSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(err)
+        assert (err.line, err.column) == (3, 7)
+
+    def test_all_library_errors_catchable_as_repro_error(self):
+        from repro.oql import parse
+
+        with pytest.raises(ReproError):
+            parse("select")
+
+
+class TestEnv:
+    def test_bind_is_persistent(self):
+        base = Env({"x": 1})
+        child = base.bind("y", 2)
+        assert child.lookup("x") == 1
+        assert child.lookup("y") == 2
+        assert not base.has("y")
+
+    def test_bind_many_empty_returns_self(self):
+        env = Env({"x": 1})
+        assert env.bind_many({}) is env
+
+    def test_shadowing(self):
+        env = Env({"x": 1}).bind("x", 2)
+        assert env.lookup("x") == 2
+
+    def test_names_innermost_first(self):
+        env = Env({"x": 1, "y": 2}).bind("x", 3)
+        names = list(env.names())
+        assert names[0] == "x"
+        assert set(names) == {"x", "y"}
+
+    def test_lookup_missing(self):
+        with pytest.raises(UnboundVariableError):
+            Env().lookup("ghost")
+
+
+class TestPretty:
+    def test_pretty_block_plain_term(self):
+        assert pretty_block(const(1)) == "1"
+
+    def test_pretty_block_nested_comprehension_source(self):
+        inner = comp("set", var("y"), [gen("y", var("Ys"))])
+        outer = comp("set", var("x"), [gen("x", inner), filt(eq(var("x"), const(1)))])
+        text = pretty_block(outer)
+        assert text.count("{") >= 2
+        assert text.endswith("}")
+
+    def test_describe_qualifier(self):
+        assert describe_qualifier(gen("x", var("Xs"))) == "generator"
+        assert describe_qualifier(filt(const(True))) == "predicate"
+        from repro.calculus import bind
+
+        assert describe_qualifier(bind("x", const(1))) == "binding"
+
+
+class TestCatalog:
+    def test_register_and_sizes(self):
+        catalog = Catalog()
+        catalog.register_extent("Xs", (1, 2, 3))
+        catalog.register_extent("Ys", Bag([1, 1]))
+        assert catalog.extent_sizes() == {"Xs": 3, "Ys": 2}
+
+    def test_non_collection_rejected(self):
+        from repro.errors import EvaluationError
+
+        catalog = Catalog()
+        with pytest.raises(EvaluationError):
+            catalog.register_extent("bad", 42)
+
+    def test_unknown_extent_message_lists_loaded(self):
+        catalog = Catalog()
+        catalog.register_extent("Xs", (1,))
+        with pytest.raises(DatabaseError, match="Xs"):
+            catalog.extent("Ghost")
+
+    def test_index_rebuilt_on_reload(self):
+        from repro.values import Record
+
+        catalog = Catalog()
+        catalog.register_extent("R", (Record(k=1),))
+        catalog.create_index("R", "k")
+        catalog.register_extent("R", (Record(k=2), Record(k=2)), replace=True)
+        mapping = catalog.index_mappings()[("R", "k")]
+        assert len(mapping.get(2, [])) == 2
+        assert mapping.get(1, []) == []
+
+    def test_iterate_extent(self):
+        catalog = Catalog()
+        catalog.register_extent("Xs", frozenset({3, 1}))
+        assert list(catalog.iterate_extent("Xs")) == [1, 3]
+
+
+class TestVeval:
+    def test_lists_convert_to_vectors(self):
+        from repro.calculus import call, gen as g, sub, var as v
+        from repro.vectors import vcomp, veval
+
+        n = 3
+        term = vcomp("sum", n, v("a"), sub(const(n - 1), v("i")),
+                     [g("a", v("x"), at="i")])
+        assert veval(term, {"x": [1, 2, 3]}) == [3, 2, 1]
+
+    def test_scalar_results_pass_through(self):
+        from repro.vectors import veval
+
+        term = comp("sum", var("a"), [gen("a", const((1, 2)))])
+        assert veval(term) == 3
+
+
+class TestPublicAPI:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports_resolve(self):
+        import importlib
+
+        for package in (
+            "algebra",
+            "calculus",
+            "db",
+            "eval",
+            "monoids",
+            "normalize",
+            "objects",
+            "oql",
+            "types",
+            "values",
+            "vectors",
+        ):
+            module = importlib.import_module(f"repro.{package}")
+            for name in module.__all__:
+                assert getattr(module, name) is not None

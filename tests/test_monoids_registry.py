@@ -1,0 +1,86 @@
+"""Registry lookups and the regenerated Table 1."""
+
+import pytest
+
+from repro.errors import MonoidError, UnknownMonoidError
+from repro.monoids import (
+    MonoidRegistry,
+    PrimitiveMonoid,
+    default_registry,
+    get_monoid,
+    table1,
+)
+
+
+def test_default_registry_has_table1_monoids():
+    registry = default_registry()
+    for name in ("list", "set", "bag", "oset", "string",
+                 "sum", "prod", "max", "min", "some", "all"):
+        assert name in registry
+        assert registry.get(name).name == name
+
+
+def test_get_monoid_shorthand():
+    assert get_monoid("bag").name == "bag"
+
+
+def test_unknown_monoid_error_lists_known():
+    with pytest.raises(UnknownMonoidError) as err:
+        get_monoid("nope")
+    assert "nope" in str(err.value)
+    assert "bag" in str(err.value)
+
+
+def test_user_registration():
+    registry = MonoidRegistry()
+    gcd_monoid = PrimitiveMonoid(
+        "gcd", 0, lambda a, b: _gcd(a, b), commutative=True, idempotent=True
+    )
+    registry.register(gcd_monoid)
+    assert registry.get("gcd").merge(12, 18) == 6
+
+
+def test_duplicate_registration_rejected():
+    registry = MonoidRegistry()
+    m = PrimitiveMonoid("m", 0, lambda a, b: a + b)
+    registry.register(m)
+    with pytest.raises(MonoidError):
+        registry.register(m)
+    registry.register(m, replace=True)  # explicit replace is fine
+
+
+def test_names_sorted():
+    registry = default_registry()
+    assert registry.names() == sorted(registry.names())
+
+
+class TestTable1:
+    def test_row_count_and_columns(self):
+        rows = table1()
+        assert len(rows) == 12
+        for row in rows:
+            assert set(row) == {"monoid", "type", "zero", "unit", "merge", "C/I"}
+
+    def test_ci_column_matches_paper(self):
+        flags = {row["monoid"]: row["C/I"] for row in table1()}
+        assert flags["list"] == "-"
+        assert flags["set"] == "CI"
+        assert flags["bag"] == "C"
+        assert flags["oset"] == "I"
+        assert flags["string"] == "-"
+        assert flags["sorted[f]"] == "CI"
+        assert flags["sum"] == "C"
+        assert flags["max"] == "CI"
+        assert flags["some"] == "CI"
+        assert flags["all"] == "CI"
+
+    def test_type_column_sorted_and_oset_are_lists(self):
+        types = {row["monoid"]: row["type"] for row in table1()}
+        assert types["oset"] == "list(a)"
+        assert types["sorted[f]"] == "list(a)"
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

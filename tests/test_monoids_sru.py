@@ -1,0 +1,137 @@
+"""The SRU comparison (related work, section 5 of the paper).
+
+Reproduces the argument that unrestricted structural recursion is
+ill-defined without uncheckable side conditions, while the calculus'
+homomorphisms are safe by a static subset test.
+"""
+
+import pytest
+
+from repro.errors import MonoidError, WellFormednessError
+from repro.monoids import BAG, LIST, SET, SUM, check_hom_well_formed, hom
+from repro.monoids.sru import (
+    EmptyTree,
+    UnionTree,
+    UnitTree,
+    collapse,
+    elements,
+    is_presentation_invariant,
+    presentation_of,
+    sru,
+    sru_consistent,
+)
+
+
+class TestPresentations:
+    def test_presentation_of_builds_right_nested_tree(self):
+        tree = presentation_of([1, 2])
+        assert isinstance(tree, UnionTree)
+        assert tree.left == UnitTree(1)
+
+    def test_elements(self):
+        assert list(elements(presentation_of([1, 2, 2]))) == [1, 2, 2]
+        assert list(elements(EmptyTree())) == []
+
+    def test_collapse_to_each_monoid(self):
+        tree = presentation_of([1, 2, 2])
+        assert collapse(tree, LIST) == (1, 2, 2)
+        assert collapse(tree, SET) == frozenset({1, 2})
+        assert collapse(tree, BAG).count(2) == 2
+
+    def test_equal_sets_different_presentations(self):
+        once = UnitTree("a")
+        twice = UnionTree(once, once)
+        assert collapse(once, SET) == collapse(twice, SET)
+
+
+class TestTheAnomaly:
+    """The paper's motivating inconsistency: 1 = sru(+, 0, \\x.1) {a}."""
+
+    def test_cardinality_sru_is_presentation_dependent(self):
+        once = UnitTree("a")
+        twice = UnionTree(once, once)  # same set {a}
+        count = dict(zero=0, unit=lambda x: 1, merge=lambda a, b: a + b)
+        assert sru(once, **count) == 1
+        assert sru(twice, **count) == 2  # "1 = 2"
+        assert not is_presentation_invariant([once, twice], **count)
+
+    def test_well_behaved_sru_is_presentation_invariant(self):
+        once = UnitTree("a")
+        twice = UnionTree(once, once)
+        to_set = dict(
+            zero=frozenset(),
+            unit=lambda x: frozenset({x}),
+            merge=lambda a, b: a | b,
+        )
+        assert is_presentation_invariant([once, twice], **to_set)
+
+    def test_runtime_check_catches_the_anomaly(self):
+        tree = presentation_of(["a"])
+        with pytest.raises(MonoidError, match="idempotent"):
+            sru_consistent(
+                tree, 0, lambda x: 1, lambda a, b: a + b, require_idempotent=True
+            )
+
+    def test_runtime_check_passes_well_behaved_arguments(self):
+        tree = presentation_of([3, 1, 2])
+        out = sru_consistent(
+            tree,
+            frozenset(),
+            lambda x: frozenset({x}),
+            lambda a, b: a | b,
+            require_commutative=True,
+            require_idempotent=True,
+        )
+        assert out == frozenset({1, 2, 3})
+
+    def test_runtime_check_catches_non_associative_merge(self):
+        tree = presentation_of([1, 2])
+
+        def bad_merge(a, b):
+            # 0 is a two-sided identity, but the operation is not
+            # associative away from it: ((1-2)-1) != (1-(2-1)).
+            if a == 0:
+                return b
+            if b == 0:
+                return a
+            return a - b
+
+        with pytest.raises(MonoidError, match="associative"):
+            sru_consistent(tree, 0, lambda x: x, bad_merge)
+
+    def test_runtime_check_catches_bad_zero(self):
+        tree = presentation_of([1])
+        with pytest.raises(MonoidError, match="identity"):
+            sru_consistent(tree, 1, lambda x: x, lambda a, b: a + b)
+
+    def test_runtime_check_catches_non_commutative(self):
+        tree = presentation_of(["a", "b"])
+        with pytest.raises(MonoidError, match="commutative"):
+            sru_consistent(
+                tree, "", lambda x: x, lambda a, b: a + b, require_commutative=True
+            )
+
+
+class TestTheCalculusAlternative:
+    """The same computations through checked homomorphisms."""
+
+    def test_bag_cardinality_is_fine(self):
+        from repro.values import Bag
+
+        assert hom(BAG, SUM, lambda x: 1, Bag(["a", "a"])) == 2
+
+    def test_set_cardinality_is_statically_rejected(self):
+        with pytest.raises(WellFormednessError):
+            check_hom_well_formed(SET, SUM)
+
+    def test_hom_is_presentation_independent_by_construction(self):
+        """hom consumes the collapsed *value*, so presentations can't
+        leak: both presentations of {a} collapse to the same frozenset."""
+        once = UnitTree("a")
+        twice = UnionTree(once, once)
+        value_once = collapse(once, SET)
+        value_twice = collapse(twice, SET)
+        assert value_once == value_twice
+        to_bool = hom(SET, __import__("repro.monoids", fromlist=["SOME"]).SOME,
+                      lambda x: True, value_once)
+        assert to_bool is True

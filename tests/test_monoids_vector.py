@@ -1,0 +1,107 @@
+"""Unit tests for the M[n] vector monoid (section 4.1)."""
+
+import pytest
+
+from repro.errors import VectorError
+from repro.monoids import MAX, SUM, VectorMonoid
+from repro.values import Vector
+
+
+def test_zero_is_all_element_zeros():
+    m = VectorMonoid(SUM, 4)
+    assert m.zero().to_list() == [0, 0, 0, 0]
+
+
+def test_paper_unit_example():
+    # unit sum[4](8, 2) = (|0, 0, 8, 0|)
+    m = VectorMonoid(SUM, 4)
+    assert m.unit(8, 2).to_list() == [0, 0, 8, 0]
+
+
+def test_paper_merge_example():
+    # merge sum[4]((|0,1,2,0|), (|3,0,2,1|)) = (|3,1,4,1|)
+    m = VectorMonoid(SUM, 4)
+    left = Vector.from_dense([0, 1, 2, 0])
+    right = Vector.from_dense([3, 0, 2, 1])
+    assert m.merge(left, right).to_list() == [3, 1, 4, 1]
+
+
+def test_unit_requires_index():
+    m = VectorMonoid(SUM, 4)
+    with pytest.raises(VectorError):
+        m.unit(8)
+
+
+def test_unit_index_range_checked():
+    m = VectorMonoid(SUM, 2)
+    with pytest.raises(VectorError):
+        m.unit(1, 5)
+
+
+def test_properties_inherited_from_element():
+    assert VectorMonoid(SUM, 3).commutative
+    assert not VectorMonoid(SUM, 3).idempotent
+    assert VectorMonoid(MAX, 3).idempotent
+
+
+def test_merge_size_mismatch_rejected():
+    m = VectorMonoid(SUM, 2)
+    with pytest.raises(VectorError):
+        m.merge(Vector.from_dense([1, 2]), Vector.from_dense([1, 2, 3]))
+
+
+def test_merge_non_vector_rejected():
+    m = VectorMonoid(SUM, 2)
+    with pytest.raises(VectorError):
+        m.merge((1, 2), Vector.from_dense([1, 2]))
+
+
+def test_iterate_yields_index_value_pairs():
+    m = VectorMonoid(SUM, 3)
+    v = Vector.from_dense([5, 0, 7])
+    assert list(m.iterate(v)) == [(0, 5), (1, 0), (2, 7)]
+
+
+def test_accumulator_merges_collisions_with_element_monoid():
+    m = VectorMonoid(SUM, 3)
+    acc = m.accumulator()
+    acc.add((5, 1))
+    acc.add((2, 1))
+    acc.add((9, 0))
+    assert acc.finish().to_list() == [9, 7, 0]
+
+
+def test_accumulator_with_max_element():
+    m = VectorMonoid(MAX, 2)
+    acc = m.accumulator()
+    acc.add((5, 0))
+    acc.add((3, 0))
+    assert acc.finish()[0] == 5
+
+
+def test_accumulator_rejects_bad_shape():
+    m = VectorMonoid(SUM, 2)
+    acc = m.accumulator()
+    with pytest.raises(VectorError):
+        acc.add(5)
+
+
+def test_accumulator_rejects_out_of_range_index():
+    m = VectorMonoid(SUM, 2)
+    acc = m.accumulator()
+    with pytest.raises(VectorError):
+        acc.add((5, 7))
+
+
+def test_name_and_signature():
+    m = VectorMonoid(SUM, 8)
+    assert m.name == "sum[8]"
+    assert m == VectorMonoid(SUM, 8)
+    assert m != VectorMonoid(SUM, 4)
+
+
+def test_not_freely_generated():
+    """Several units on one slot combine — the paper's observation."""
+    m = VectorMonoid(SUM, 1)
+    merged = m.merge(m.unit(2, 0), m.unit(3, 0))
+    assert merged.to_list() == [5]

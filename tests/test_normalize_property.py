@@ -1,0 +1,167 @@
+"""Property-based soundness of normalization and planning.
+
+Random *well-formed* comprehension terms (generator monoid properties
+always a subset of the output monoid's, mirroring what the type checker
+admits) are evaluated three ways:
+
+1. directly (reference evaluator);
+2. after normalization;
+3. through the logical algebra + pipelined executor.
+
+All three must agree. This is the strongest statement the library makes
+about Table 3 and the evaluation sketch, so it gets the heaviest
+randomized coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import Executor, build_plan
+from repro.calculus import (
+    add,
+    and_,
+    comp,
+    const,
+    eq,
+    filt,
+    gen,
+    gt,
+    if_,
+    le,
+    lt,
+    merge,
+    mul,
+    tup,
+    unit,
+    var,
+    zero,
+)
+from repro.calculus.ast import Comprehension, Term
+from repro.eval import Evaluator, evaluate
+from repro.normalize import normalize
+from repro.values import Bag
+
+# The three base extents. Their monoids drive the well-formedness table.
+_EXTENTS = {
+    "Xs": ("list", lambda xs: tuple(xs)),
+    "Ys": ("bag", lambda xs: Bag(xs)),
+    "Zs": ("set", lambda xs: frozenset(xs)),
+}
+
+#: output monoid -> extent names usable as generator sources
+_ALLOWED_SOURCES = {
+    "list": ["Xs"],
+    "bag": ["Xs", "Ys"],
+    "sum": ["Xs", "Ys"],
+    "set": ["Xs", "Ys", "Zs"],
+    "max": ["Xs", "Ys", "Zs"],
+    "some": ["Xs", "Ys", "Zs"],
+}
+
+
+def _head_strategy(bound_vars: list[str]):
+    base = st.sampled_from([var(v) for v in bound_vars] + [const(1), const(3)])
+    def widen(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: add(p[0], p[1])),
+            st.tuples(children, children).map(lambda p: mul(p[0], p[1])),
+            st.tuples(children, children, children).map(
+                lambda p: if_(lt(p[0], p[1]), p[2], const(0))
+            ),
+        )
+    return st.recursive(base, widen, max_leaves=4)
+
+
+def _pred_strategy(bound_vars: list[str]):
+    operand = st.sampled_from([var(v) for v in bound_vars] + [const(2), const(5)])
+    simple = st.one_of(
+        st.tuples(operand, operand).map(lambda p: lt(p[0], p[1])),
+        st.tuples(operand, operand).map(lambda p: eq(p[0], p[1])),
+        st.tuples(operand, operand).map(lambda p: gt(p[0], p[1])),
+    )
+    return st.one_of(
+        simple,
+        st.tuples(simple, simple).map(lambda p: and_(p[0], p[1])),
+    )
+
+
+@st.composite
+def _source_strategy(draw, output_monoid: str, depth: int) -> Term:
+    """A generator source: extent, nested comprehension, merge, or unit."""
+    allowed = _ALLOWED_SOURCES[output_monoid]
+    choice = draw(st.integers(0, 3 if depth > 0 else 1))
+    extent = draw(st.sampled_from(allowed))
+    if choice == 0 or choice == 1:
+        return var(extent)
+    if choice == 2:
+        inner_monoid = _EXTENTS[extent][0]
+        inner = draw(_comprehension_strategy(inner_monoid, depth - 1))
+        return inner
+    return merge(
+        _EXTENTS[extent][0] if False else output_monoid_source(extent),
+        var(extent),
+        var(extent),
+    )
+
+
+def output_monoid_source(extent: str):
+    return _EXTENTS[extent][0]
+
+
+@st.composite
+def _comprehension_strategy(draw, output_monoid: str, depth: int) -> Comprehension:
+    n_gens = draw(st.integers(1, 2))
+    qualifiers = []
+    bound: list[str] = []
+    for i in range(n_gens):
+        name = f"v{depth}{i}"
+        source = draw(_source_strategy(output_monoid, depth))
+        qualifiers.append(gen(name, source))
+        bound.append(name)
+        if draw(st.booleans()):
+            qualifiers.append(filt(draw(_pred_strategy(bound))))
+    if output_monoid == "some":
+        head = draw(_pred_strategy(bound))
+    else:
+        head = draw(_head_strategy(bound))
+    return comp(output_monoid, head, qualifiers)
+
+
+@st.composite
+def _term_and_data(draw):
+    output_monoid = draw(st.sampled_from(list(_ALLOWED_SOURCES)))
+    term = draw(_comprehension_strategy(output_monoid, depth=2))
+    data = {}
+    for name, (_, build) in _EXTENTS.items():
+        data[name] = build(draw(st.lists(st.integers(0, 6), max_size=5)))
+    return term, data
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=_term_and_data())
+def test_normalization_preserves_semantics(case):
+    term, data = case
+    direct = evaluate(term, data)
+    normalized = normalize(term)
+    assert evaluate(normalized, data) == direct
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=_term_and_data())
+def test_algebra_agrees_with_evaluator(case):
+    term, data = case
+    direct = evaluate(term, data)
+    plan = build_plan(term)
+    executor = Executor(Evaluator(data))
+    assert executor.execute(plan) == direct
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_term_and_data())
+def test_normalization_is_idempotent(case):
+    term, _ = case
+    once = normalize(term)
+    assert normalize(once) == once

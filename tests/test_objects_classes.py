@@ -1,0 +1,75 @@
+"""Class instances, extents and inheritance (object mode)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.objects import ExtentRegistry, ObjectStore, class_of, instantiate
+from repro.types import Schema, TINT, TSTRING
+from repro.values import Record
+
+
+@pytest.fixture
+def schema() -> Schema:
+    s = Schema()
+    s.define_class("Person", {"name": TSTRING}, extent="Persons")
+    s.define_class("Employee", {"salary": TINT}, extent="Employees",
+                   superclass="Person")
+    return s
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    return ObjectStore()
+
+
+def test_instantiate_creates_tagged_object(schema, store):
+    obj = instantiate(store, schema, "Person", {"name": "Ann"})
+    state = store.deref(obj)
+    assert state["name"] == "Ann"
+    assert class_of(store, obj) == "Person"
+
+
+def test_instantiate_accepts_inherited_attributes(schema, store):
+    obj = instantiate(store, schema, "Employee", {"name": "Bob", "salary": 7})
+    assert store.deref(obj)["salary"] == 7
+
+
+def test_instantiate_rejects_unknown_attributes(schema, store):
+    with pytest.raises(SchemaError, match="unknown attributes"):
+        instantiate(store, schema, "Person", {"nope": 1})
+
+
+def test_class_of_untagged_object(store):
+    obj = store.new(Record(a=1))
+    assert class_of(store, obj) is None
+
+
+class TestExtentRegistry:
+    def test_create_registers_in_extent(self, schema, store):
+        registry = ExtentRegistry(schema, store)
+        registry.create("Person", {"name": "Ann"})
+        assert len(registry.extent("Persons")) == 1
+
+    def test_subclass_members_in_superclass_extent(self, schema, store):
+        registry = ExtentRegistry(schema, store)
+        registry.create("Employee", {"name": "Bob", "salary": 1})
+        assert len(registry.extent("Persons")) == 1
+        assert len(registry.extent("Employees")) == 1
+
+    def test_superclass_members_not_in_subclass_extent(self, schema, store):
+        registry = ExtentRegistry(schema, store)
+        registry.create("Person", {"name": "Ann"})
+        assert registry.extent("Employees") == ()
+
+    def test_remove(self, schema, store):
+        registry = ExtentRegistry(schema, store)
+        obj = registry.create("Person", {"name": "Ann"})
+        registry.remove(obj)
+        assert registry.extent("Persons") == ()
+
+    def test_members_of_class(self, schema, store):
+        registry = ExtentRegistry(schema, store)
+        registry.create("Person", {"name": "Ann"})
+        registry.create("Employee", {"name": "Bob", "salary": 1})
+        assert len(registry.members_of_class("Person")) == 1
+        assert len(list(registry.all_objects())) == 2

@@ -1,0 +1,92 @@
+"""OQL tokenizer."""
+
+import pytest
+
+from repro.errors import OQLSyntaxError
+from repro.oql import tokenize
+
+
+def _texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+def _kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("SELECT Distinct frOm")
+    assert [t.text for t in tokens[:-1]] == ["select", "distinct", "from"]
+    assert all(t.kind == "keyword" for t in tokens[:-1])
+
+
+def test_identifiers_keep_case():
+    tokens = tokenize("Cities hotelName")
+    assert [t.text for t in tokens[:-1]] == ["Cities", "hotelName"]
+    assert all(t.kind == "ident" for t in tokens[:-1])
+
+
+def test_hash_in_identifiers():
+    """The paper's schema uses attributes like bed# and hotel#."""
+    assert _texts("r.bed# = 3") == ["r", ".", "bed#", "=", "3"]
+
+
+def test_numbers():
+    tokens = tokenize("42 3.14")
+    assert tokens[0].kind == "number" and tokens[0].text == "42"
+    assert tokens[1].kind == "number" and tokens[1].text == "3.14"
+
+
+def test_number_followed_by_dot_method():
+    # "1..name" style: trailing dot is punct, not part of the number
+    assert _texts("7.name") == ["7", ".", "name"]
+
+
+def test_strings_single_and_double_quotes():
+    tokens = tokenize("'abc' \"xy\"")
+    assert tokens[0].kind == "string" and tokens[0].text == "abc"
+    assert tokens[1].kind == "string" and tokens[1].text == "xy"
+
+
+def test_string_escapes():
+    tokens = tokenize(r"'a\'b'")
+    assert tokens[0].text == "a'b"
+
+
+def test_unterminated_string():
+    with pytest.raises(OQLSyntaxError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_operators_greedy():
+    assert _texts("a <= b >= c != d <> e") == ["a", "<=", "b", ">=", "c", "!=", "d", "<>", "e"]
+
+
+def test_comments_skipped():
+    assert _texts("a -- comment here\nb") == ["a", "b"]
+
+
+def test_positions():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(OQLSyntaxError, match="unexpected character"):
+        tokenize("a ; b")
+
+
+def test_punctuation():
+    assert _kinds("( ) [ ] . , :") == ["punct"] * 7
+
+
+def test_eof_token_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+
+def test_is_keyword_helper():
+    token = tokenize("select")[0]
+    assert token.is_keyword("select")
+    assert not token.is_keyword("from")

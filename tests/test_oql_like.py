@@ -1,0 +1,76 @@
+"""The OQL `like` operator, end to end."""
+
+import pytest
+
+from repro.errors import EvaluationError, TypingError
+from repro.eval import evaluate
+from repro.eval.builtins import builtin_like
+from repro.oql import translate_oql
+from repro.types import TypeChecker
+from repro.values import Record
+
+
+class TestBuiltin:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("Portland", "Port%", True),
+            ("Portland", "%land", True),
+            ("Portland", "P_rtland", True),
+            ("Portland", "p%", False),  # case sensitive
+            ("Portland", "Portland", True),
+            ("Portland", "%", True),
+            ("", "%", True),
+            ("", "_", False),
+            ("a.b", "a.b", True),
+            ("axb", "a.b", False),  # '.' is literal, not regex
+            ("50%", "50\\%", False),  # backslash is literal too
+        ],
+    )
+    def test_matching(self, value, pattern, expected):
+        assert builtin_like(value, pattern) is expected
+
+    def test_type_errors(self):
+        with pytest.raises(EvaluationError):
+            builtin_like(3, "%")
+        with pytest.raises(EvaluationError):
+            builtin_like("x", 3)
+
+
+class TestThroughOQL:
+    DATA = {
+        "Xs": frozenset(
+            {Record(name="Portland"), Record(name="Portsmouth"), Record(name="Salem")}
+        )
+    }
+
+    def test_translation(self):
+        term = translate_oql("select distinct x from x in Xs where x.name like 'Port%'")
+        assert "like(x.name, 'Port%')" in str(term)
+
+    def test_evaluation(self):
+        term = translate_oql(
+            "select distinct x.name from x in Xs where x.name like 'Port%'"
+        )
+        assert evaluate(term, self.DATA) == frozenset({"Portland", "Portsmouth"})
+
+    def test_not_like(self):
+        term = translate_oql(
+            "select distinct x.name from x in Xs where not (x.name like 'Port%')"
+        )
+        assert evaluate(term, self.DATA) == frozenset({"Salem"})
+
+    def test_typechecks(self):
+        term = translate_oql("'abc' like 'a%'")
+        assert str(TypeChecker().infer(term)) == "bool"
+
+    def test_non_string_rejected_statically(self):
+        term = translate_oql("3 like 'a%'")
+        with pytest.raises(TypingError):
+            TypeChecker().infer(term)
+
+    def test_through_database(self, travel_db):
+        out = travel_db.run(
+            "select distinct c.name from c in Cities where c.name like '%land%'"
+        )
+        assert all("land" in name for name in out)

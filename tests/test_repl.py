@@ -1,0 +1,103 @@
+"""The interactive shell, driven programmatically."""
+
+import io
+
+import pytest
+
+from repro.db import demo_travel_database
+from repro.repl import Repl
+
+
+@pytest.fixture
+def shell():
+    outputs = []
+    repl = Repl(demo_travel_database(num_cities=3, seed=1), out=outputs.append)
+    return repl, outputs
+
+
+def _all(outputs):
+    return "\n".join(outputs)
+
+
+def test_plain_query(shell):
+    repl, outputs = shell
+    repl.handle("count(Cities)")
+    assert "3" in _all(outputs)
+
+
+def test_calc_command(shell):
+    repl, outputs = shell
+    repl.handle("\\calc sum{ x | x <- range(5) }")
+    assert "10" in _all(outputs)
+
+
+def test_explain_command(shell):
+    repl, outputs = shell
+    repl.handle("\\explain select distinct c.name from c in Cities")
+    assert "Scan c <- Cities" in _all(outputs)
+
+
+def test_trace_command(shell):
+    repl, outputs = shell
+    repl.handle(
+        "\\trace select distinct h.name from h in "
+        "(select distinct x from c in Cities, x in c.hotels)"
+    )
+    assert "N9-flatten" in _all(outputs)
+
+
+def test_plan_command(shell):
+    repl, outputs = shell
+    repl.handle("\\plan select distinct c.name from c in Cities")
+    assert "normalized:" in _all(outputs)
+
+
+def test_define_and_use_view(shell):
+    repl, outputs = shell
+    repl.handle("\\define Lux as select distinct h from c in Cities, "
+                "h in c.hotels where h.stars = 5")
+    repl.handle("select distinct l.name from l in Lux")
+    assert "defined view Lux" in _all(outputs)
+
+
+def test_extents_and_schema(shell):
+    repl, outputs = shell
+    repl.handle("\\extents")
+    repl.handle("\\schema")
+    text = _all(outputs)
+    assert "Cities: 3 elements" in text
+    assert "class City" in text
+
+
+def test_error_reported_not_raised(shell):
+    repl, outputs = shell
+    repl.handle("select broken from")
+    assert "error:" in _all(outputs)
+
+
+def test_unknown_command(shell):
+    repl, outputs = shell
+    repl.handle("\\bogus")
+    assert "unknown command" in _all(outputs)
+
+
+def test_help_and_quit(shell):
+    repl, outputs = shell
+    repl.handle("\\help")
+    assert "OQL shell" in _all(outputs) or "oql" in _all(outputs).lower()
+    repl.handle("\\quit")
+    assert not repl.running
+
+
+def test_run_loop_over_stream():
+    outputs = []
+    repl = Repl(demo_travel_database(num_cities=2, seed=1), out=outputs.append)
+    stream = io.StringIO("count(Cities)\n\\quit\n")
+    repl.run(stdin=stream)
+    assert "2" in "\n".join(outputs)
+
+
+def test_empty_line_ignored(shell):
+    repl, outputs = shell
+    repl.handle("   ")
+    assert outputs == []

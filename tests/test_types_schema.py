@@ -1,0 +1,100 @@
+"""Schema declarations: classes, extents, inheritance, methods."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.types import (
+    ANY,
+    Schema,
+    TClass,
+    TColl,
+    TINT,
+    TSTRING,
+)
+
+
+@pytest.fixture
+def schema() -> Schema:
+    s = Schema()
+    s.define_class("Person", {"name": TSTRING, "age": TINT}, extent="Persons")
+    s.define_class(
+        "Employee", {"salary": TINT}, extent="Employees", superclass="Person"
+    )
+    s.define_class("Manager", {"bonus": TINT}, superclass="Employee")
+    return s
+
+
+def test_extent_type(schema):
+    assert schema.extent_type("Persons") == TColl("set", TClass("Person"))
+
+
+def test_extent_monoid_choice():
+    s = Schema()
+    s.define_class("E", {}, extent="Es", extent_monoid="bag")
+    assert s.extent_type("Es").monoid == "bag"
+
+
+def test_duplicate_class_rejected(schema):
+    with pytest.raises(SchemaError):
+        schema.define_class("Person", {})
+
+
+def test_duplicate_extent_rejected(schema):
+    with pytest.raises(SchemaError):
+        schema.define_class("Other", {}, extent="Persons")
+
+
+def test_undefined_superclass_rejected():
+    s = Schema()
+    with pytest.raises(SchemaError):
+        s.define_class("Child", {}, superclass="Ghost")
+
+
+def test_attribute_type_searches_superclasses(schema):
+    assert schema.attribute_type("Manager", "name") == TSTRING
+    assert schema.attribute_type("Manager", "salary") == TINT
+    assert schema.attribute_type("Manager", "bonus") == TINT
+    assert schema.attribute_type("Person", "salary") is None
+
+
+def test_is_subclass(schema):
+    assert schema.is_subclass("Manager", "Person")
+    assert schema.is_subclass("Person", "Person")
+    assert not schema.is_subclass("Person", "Manager")
+
+
+def test_unknown_class_raises(schema):
+    with pytest.raises(SchemaError):
+        schema.class_def("Ghost")
+    with pytest.raises(SchemaError):
+        schema.extent_class("Ghosts")
+
+
+def test_methods_inherit(schema):
+    schema.define_method("Person", "greeting", lambda p: f"hi {p['name']}")
+    mdef = schema.method_def("Manager", "greeting")
+    assert mdef is not None
+    assert mdef.fn({"name": "Ann"}) == "hi Ann"
+    assert schema.method_def("Person", "nothing") is None
+
+
+def test_method_must_be_callable(schema):
+    with pytest.raises(SchemaError):
+        schema.define_method("Person", "bad", fn="not callable")
+
+
+def test_all_methods_flat_map(schema):
+    schema.define_method("Person", "m1", lambda p: 1)
+    schema.define_method("Employee", "m2", lambda p: 2)
+    methods = schema.all_methods()
+    assert set(methods) >= {"m1", "m2"}
+
+
+def test_extents_listing(schema):
+    assert schema.extents() == {"Persons": "Person", "Employees": "Employee"}
+    assert schema.has_extent("Persons")
+    assert not schema.has_extent("Ghosts")
+
+
+def test_classes_iteration(schema):
+    assert {c.name for c in schema.classes()} == {"Person", "Employee", "Manager"}

@@ -1,0 +1,91 @@
+"""Unit tests for the Bag (multiset) value."""
+
+import pytest
+
+from repro.values import Bag, Record
+
+
+def test_counts_multiplicity():
+    b = Bag([1, 2, 2, 3])
+    assert b.count(2) == 2
+    assert b.count(1) == 1
+    assert b.count(9) == 0
+
+
+def test_len_counts_with_multiplicity():
+    assert len(Bag([1, 1, 1])) == 3
+    assert len(Bag()) == 0
+
+
+def test_equality_ignores_insertion_order():
+    assert Bag([1, 2, 2]) == Bag([2, 1, 2])
+    assert Bag([1, 2]) != Bag([1, 2, 2])
+
+
+def test_union_is_additive():
+    merged = Bag([1, 2]).union(Bag([2, 3]))
+    assert merged == Bag([1, 2, 2, 3])
+
+
+def test_add_operator():
+    assert Bag([1]) + Bag([1]) == Bag([1, 1])
+
+
+def test_difference_is_monus():
+    assert Bag([1, 1, 2]).difference(Bag([1, 3])) == Bag([1, 2])
+    assert Bag([1]).difference(Bag([1, 1])) == Bag()
+
+
+def test_intersection_takes_min_multiplicity():
+    assert Bag([1, 1, 2]).intersection(Bag([1, 2, 2])) == Bag([1, 2])
+
+
+def test_contains():
+    assert 2 in Bag([1, 2])
+    assert 9 not in Bag([1, 2])
+
+
+def test_iteration_is_deterministic_and_sorted():
+    b = Bag([3, 1, 2, 1])
+    assert list(b) == [1, 1, 2, 3]
+
+
+def test_distinct():
+    assert Bag([1, 1, 2]).distinct() == frozenset({1, 2})
+
+
+def test_hashable_and_nestable():
+    outer = frozenset({Bag([1, 1]), Bag([2])})
+    assert Bag([1, 1]) in outer
+
+
+def test_bags_of_records():
+    b = Bag([Record(a=1), Record(a=1)])
+    assert b.count(Record(a=1)) == 2
+
+
+def test_from_counts():
+    assert Bag.from_counts({1: 2, 2: 0}) == Bag([1, 1])
+
+
+def test_from_counts_rejects_negative():
+    with pytest.raises(ValueError):
+        Bag.from_counts({1: -1})
+
+
+def test_immutability():
+    b = Bag([1])
+    with pytest.raises(AttributeError):
+        b.x = 1
+
+
+def test_copy_construction():
+    b = Bag([1, 2])
+    assert Bag(b) == b
+
+
+def test_counts_returns_fresh_dict():
+    b = Bag([1])
+    counts = b.counts()
+    counts[1] = 99
+    assert b.count(1) == 1

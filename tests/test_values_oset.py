@@ -1,0 +1,69 @@
+"""Unit tests for OrderedSet — the oset monoid carrier."""
+
+import pytest
+
+from repro.values import OrderedSet
+
+
+def test_deduplicates_preserving_first_occurrence():
+    assert list(OrderedSet([1, 2, 1, 3, 2])) == [1, 2, 3]
+
+
+def test_paper_merge_example():
+    # The paper: [2,5,3,1] merged with [3,2,6] = [2,5,3,1,6]
+    left = OrderedSet([2, 5, 3, 1])
+    right = OrderedSet([3, 2, 6])
+    assert list(left.union(right)) == [2, 5, 3, 1, 6]
+
+
+def test_union_is_idempotent():
+    x = OrderedSet([1, 2, 3])
+    assert x.union(x) == x
+
+
+def test_union_is_not_commutative():
+    a = OrderedSet([1, 2])
+    b = OrderedSet([2, 3])
+    assert a.union(b) != b.union(a)
+
+
+def test_union_is_associative():
+    a, b, c = OrderedSet([1, 2]), OrderedSet([2, 3]), OrderedSet([3, 4, 1])
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+def test_add_operator():
+    assert (OrderedSet([1]) + OrderedSet([2])) == OrderedSet([1, 2])
+
+
+def test_contains_is_fast_path():
+    s = OrderedSet(range(100))
+    assert 99 in s
+    assert 100 not in s
+
+
+def test_indexing_and_slicing():
+    s = OrderedSet([10, 20, 30])
+    assert s[0] == 10
+    assert s[-1] == 30
+    assert s[1:] == OrderedSet([20, 30])
+
+
+def test_equality_respects_order():
+    assert OrderedSet([1, 2]) != OrderedSet([2, 1])
+    assert OrderedSet([1, 2]) == OrderedSet([1, 2, 2])
+
+
+def test_hashable():
+    assert len({OrderedSet([1, 2]), OrderedSet([1, 2])}) == 1
+
+
+def test_empty():
+    assert len(OrderedSet()) == 0
+    assert list(OrderedSet()) == []
+
+
+def test_immutability():
+    s = OrderedSet([1])
+    with pytest.raises(AttributeError):
+        s.x = 1

@@ -1,0 +1,95 @@
+"""Unit tests for the Record value."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.values import Record
+
+
+def test_field_access_by_key():
+    r = Record(name="Portland", population=500)
+    assert r["name"] == "Portland"
+    assert r["population"] == 500
+
+
+def test_field_access_by_attribute():
+    r = Record(name="Portland")
+    assert r.name == "Portland"
+
+
+def test_missing_field_raises_evaluation_error():
+    r = Record(a=1)
+    with pytest.raises(EvaluationError, match="no field 'b'"):
+        r["b"]
+
+
+def test_missing_attribute_raises_attribute_error():
+    r = Record(a=1)
+    with pytest.raises(AttributeError):
+        r.b
+
+
+def test_equality_is_order_insensitive():
+    assert Record(a=1, b=2) == Record(b=2, a=1)
+
+
+def test_inequality_on_values():
+    assert Record(a=1) != Record(a=2)
+
+
+def test_not_equal_to_plain_dict():
+    assert Record(a=1) != {"a": 1}
+
+
+def test_hash_consistent_with_equality():
+    assert hash(Record(a=1, b=2)) == hash(Record(b=2, a=1))
+    assert len({Record(a=1), Record(a=1)}) == 1
+
+
+def test_records_nest_in_sets():
+    s = frozenset({Record(x=1), Record(x=2)})
+    assert Record(x=1) in s
+
+
+def test_immutability():
+    r = Record(a=1)
+    with pytest.raises(AttributeError):
+        r.a = 2
+
+
+def test_replace_creates_new_record():
+    r = Record(a=1, b=2)
+    r2 = r.replace(b=3)
+    assert r2 == Record(a=1, b=3)
+    assert r == Record(a=1, b=2)
+
+
+def test_replace_unknown_field_raises():
+    with pytest.raises(EvaluationError, match="no field 'c'"):
+        Record(a=1).replace(c=9)
+
+
+def test_with_field_adds_and_overwrites():
+    r = Record(a=1)
+    assert r.with_field("b", 2) == Record(a=1, b=2)
+    assert r.with_field("a", 9) == Record(a=9)
+
+
+def test_fields_preserve_declaration_order():
+    assert Record(z=1, a=2).fields() == ("z", "a")
+
+
+def test_mapping_protocol():
+    r = Record(a=1, b=2)
+    assert len(r) == 2
+    assert set(r) == {"a", "b"}
+    assert dict(r) == {"a": 1, "b": 2}
+
+
+def test_repr_shows_fields():
+    assert repr(Record(a=1)) == "<a=1>"
+
+
+def test_record_from_mapping():
+    r = Record({"x": 1}, y=2)
+    assert r.x == 1 and r.y == 2

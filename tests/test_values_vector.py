@@ -1,0 +1,80 @@
+"""Unit tests for the Vector value (the M[n] carrier)."""
+
+import pytest
+
+from repro.errors import VectorError
+from repro.values import Vector
+
+
+def test_from_dense_roundtrip():
+    v = Vector.from_dense([1, 2, 3])
+    assert v.to_list() == [1, 2, 3]
+    assert len(v) == 3
+
+
+def test_sparse_slots_fill_with_default():
+    v = Vector(4, default=0, slots={2: 8})
+    assert v.to_list() == [0, 0, 8, 0]
+
+
+def test_default_valued_slots_are_not_stored():
+    v = Vector(3, default=0, slots={0: 0, 1: 5})
+    assert list(v.occupied()) == [(1, 5)]
+
+
+def test_indexing():
+    v = Vector.from_dense([10, 20])
+    assert v[0] == 10
+    assert v[1] == 20
+
+
+def test_index_out_of_range():
+    v = Vector.from_dense([1])
+    with pytest.raises(VectorError):
+        v[1]
+    with pytest.raises(VectorError):
+        v[-1]
+
+
+def test_slot_out_of_range_at_construction():
+    with pytest.raises(VectorError):
+        Vector(2, slots={5: 1})
+
+
+def test_negative_size_rejected():
+    with pytest.raises(VectorError):
+        Vector(-1)
+
+
+def test_items_iterates_all_indices():
+    v = Vector(3, default=0, slots={1: 7})
+    assert list(v.items()) == [(0, 0), (1, 7), (2, 0)]
+
+
+def test_equality_is_structural():
+    assert Vector.from_dense([1, 2]) == Vector(2, slots={0: 1, 1: 2})
+    assert Vector.from_dense([1, 2]) != Vector.from_dense([2, 1])
+    assert Vector.from_dense([1]) != Vector.from_dense([1, 0])
+
+
+def test_equality_considers_default():
+    assert Vector(2, default=0) != Vector(2, default=None)
+
+
+def test_hashable():
+    assert len({Vector.from_dense([1]), Vector.from_dense([1])}) == 1
+
+
+def test_with_slot():
+    v = Vector.from_dense([1, 2]).with_slot(0, 9)
+    assert v.to_list() == [9, 2]
+
+
+def test_repr_paper_notation():
+    assert repr(Vector.from_dense([3, 1])) == "(|3, 1|)"
+
+
+def test_immutability():
+    v = Vector.from_dense([1])
+    with pytest.raises(AttributeError):
+        v.x = 1

@@ -1,0 +1,177 @@
+"""Section 4.1: vector comprehensions and the example library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus import call, comp, const, gen, sub, var
+from repro.errors import MonoidError
+from repro.eval import Evaluator, evaluate
+from repro.values import Vector
+from repro.vectors import (
+    at,
+    fft_query,
+    histogram_query,
+    inner_product_query,
+    matmul_query,
+    permute_query,
+    reverse_query,
+    subsequence_query,
+    transpose_query,
+    vcomp,
+)
+
+
+class TestVectorComprehensionCore:
+    def test_reverse_comprehension_term(self):
+        """The paper's vec[n]{ a @ (n-1-i) | a[i] <- x }."""
+        n = 4
+        term = vcomp(
+            "sum", n, var("a"), sub(const(n - 1), var("i")), [gen("a", var("x"), at="i")]
+        )
+        out = evaluate(term, {"x": Vector.from_dense([1, 2, 3, 4])})
+        assert out.to_list() == [4, 3, 2, 1]
+
+    def test_head_must_be_pair(self):
+        term = comp("sum", var("a"), [gen("a", var("x"), at="i")])
+        # plain sum head is fine; but a vec monoid demands (value, index)
+        bad = vcomp("sum", 2, var("a"), var("i"), [gen("a", var("x"), at="i")])
+        from repro.calculus.ast import Comprehension, MonoidRef
+
+        broken = Comprehension(bad.monoid, var("a"), bad.qualifiers)
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            evaluate(broken, {"x": Vector.from_dense([1, 2])})
+
+    def test_collisions_merge_with_element_monoid(self):
+        term = vcomp("sum", 1, var("a"), const(0), [gen("a", var("x"), at="i")])
+        out = evaluate(term, {"x": Vector.from_dense([1, 2, 3])})
+        assert out.to_list() == [6]
+
+    def test_vector_size_may_be_expression(self):
+        term = vcomp("sum", var("n"), var("a"), var("i"), [gen("a", var("x"), at="i")])
+        out = evaluate(term, {"n": 2, "x": Vector.from_dense([5, 6])})
+        assert out.to_list() == [5, 6]
+
+    def test_bad_vector_size(self):
+        from repro.errors import EvaluationError
+
+        term = vcomp("sum", const(-1), const(1), const(0), [])
+        with pytest.raises(EvaluationError):
+            evaluate(term)
+
+
+class TestExampleLibrary:
+    def test_reverse(self):
+        assert reverse_query([1, 2, 3, 4]) == [4, 3, 2, 1]
+        assert reverse_query([]) == []
+
+    def test_subsequence(self):
+        assert subsequence_query([10, 20, 30, 40, 50], 1, 4) == [20, 30, 40]
+        assert subsequence_query([1, 2], 0, 0) == []
+
+    def test_permute(self):
+        assert permute_query(["a", "b", "c"], [2, 0, 1]) == ["b", "c", "a"]
+
+    def test_permute_rejects_non_bijection(self):
+        with pytest.raises(ValueError):
+            permute_query([1, 2], [0, 0])
+
+    def test_cell_monoid_collision_is_error(self):
+        from repro.monoids import get_monoid
+
+        cell = get_monoid("cell")
+        with pytest.raises(MonoidError):
+            cell.merge(1, 2)
+        assert cell.merge(None, 5) == 5
+
+    def test_inner_product(self):
+        assert inner_product_query([1, 2, 3], [4, 5, 6]) == 32
+        assert inner_product_query([], []) == 0
+
+    def test_inner_product_length_mismatch(self):
+        with pytest.raises(ValueError):
+            inner_product_query([1], [1, 2])
+
+    def test_transpose(self):
+        assert transpose_query([[1, 2, 3], [4, 5, 6]]) == [[1, 4], [2, 5], [3, 6]]
+
+    def test_matmul(self):
+        assert matmul_query([[1, 2], [3, 4]], [[5, 6], [7, 8]]) == [[19, 22], [43, 50]]
+
+    def test_matmul_dimension_check(self):
+        with pytest.raises(ValueError):
+            matmul_query([[1, 2, 3]], [[1], [2]])
+
+    def test_matmul_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 9, (3, 4)).tolist()
+        b = rng.integers(0, 9, (4, 2)).tolist()
+        assert matmul_query(a, b) == (np.array(a) @ np.array(b)).tolist()
+
+    def test_histogram(self):
+        assert histogram_query([0, 1, 1, 2, 5], buckets=3, width=2) == [3, 1, 1]
+
+
+class TestFFT:
+    def test_impulse(self):
+        out = fft_query([1, 0, 0, 0])
+        assert all(abs(v - 1) < 1e-12 for v in out)
+
+    def test_constant_signal(self):
+        out = fft_query([1, 1, 1, 1])
+        assert abs(out[0] - 4) < 1e-12
+        assert all(abs(v) < 1e-12 for v in out[1:])
+
+    def test_matches_numpy_various_sizes(self):
+        rng = np.random.default_rng(7)
+        for n in (1, 2, 4, 8, 16, 32):
+            xs = rng.normal(size=n).tolist()
+            mine = fft_query(xs)
+            ref = np.fft.fft(xs)
+            assert max(abs(m - r) for m, r in zip(mine, ref)) < 1e-9
+
+    def test_complex_input(self):
+        xs = [1 + 2j, -1j, 0.5, 2]
+        mine = fft_query(xs)
+        ref = np.fft.fft(xs)
+        assert max(abs(m - r) for m, r in zip(mine, ref)) < 1e-9
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            fft_query([1, 2, 3])
+
+    def test_empty(self):
+        assert fft_query([]) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=st.lists(st.integers(-10, 10), min_size=1, max_size=12))
+def test_reverse_is_involution(xs):
+    assert reverse_query(reverse_query(xs)) == xs
+
+
+@settings(max_examples=40, deadline=None)
+@given(xs=st.lists(st.integers(-5, 5), min_size=1, max_size=8))
+def test_inner_product_with_self_is_nonnegative(xs):
+    assert inner_product_query(xs, xs) == sum(x * x for x in xs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 4).flatmap(
+        lambda n: st.permutations(list(range(n))).map(lambda p: (n, p))
+    )
+)
+def test_permutation_is_invertible(case):
+    n, p = case
+    values = [f"v{i}" for i in range(n)]
+    permuted = permute_query(values, p)
+    inverse = [0] * n
+    for i, target in enumerate(p):
+        inverse[target] = i
+    assert permute_query(permuted, inverse) == values
