@@ -42,8 +42,9 @@ from repro.db import (
     make_travel_agency,
     travel_schema,
 )
-from repro.errors import ReproError
+from repro.errors import LintError, ReproError
 from repro.eval import Evaluator, evaluate
+from repro.lint import Diagnostic, Linter, lint_oql
 from repro.monoids import (
     BAG,
     LIST,
@@ -57,6 +58,7 @@ from repro.monoids import (
 )
 from repro.normalize import normalize, normalize_with_trace
 from repro.oql import parse, translate_oql
+from repro.span import Span
 from repro.types import Schema, TypeChecker
 from repro.values import Bag, OrderedSet, Record, Vector, to_python
 
@@ -67,8 +69,11 @@ __all__ = [
     "Bag",
     "Comprehension",
     "Database",
+    "Diagnostic",
     "Evaluator",
     "LIST",
+    "LintError",
+    "Linter",
     "OSET",
     "OrderedSet",
     "QueryResult",
@@ -78,6 +83,7 @@ __all__ = [
     "STRING",
     "SUM",
     "Schema",
+    "Span",
     "Term",
     "TypeChecker",
     "Vector",
@@ -92,6 +98,7 @@ __all__ = [
     "filt",
     "gen",
     "hom",
+    "lint_oql",
     "make_company",
     "make_travel_agency",
     "normalize",

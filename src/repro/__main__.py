@@ -1,8 +1,22 @@
-"""``python -m repro`` — the interactive OQL shell."""
+"""``python -m repro`` — the interactive OQL shell, or subcommands.
+
+``python -m repro lint file.oql [...]`` runs the static analyzer
+(:mod:`repro.lint.cli`); anything else starts the REPL.
+"""
 
 import sys
 
-from repro.repl import main
+
+def main(argv=None):
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(args[1:])
+    from repro.repl import main as repl_main
+
+    return repl_main(args)
+
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -23,7 +23,7 @@ intermediate collections.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.calculus.ast import MonoidRef, Term

@@ -17,7 +17,7 @@ The optimizer is pure: it returns a new plan tree.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from repro.algebra.ops import (
     IndexScan,
@@ -29,7 +29,7 @@ from repro.algebra.ops import (
     Unnest,
 )
 from repro.algebra.translate import _try_join_keys
-from repro.calculus.ast import BinOp, Const, Proj, Term, Var
+from repro.calculus.ast import BinOp, Proj, Term, Var
 from repro.calculus.traversal import free_vars
 
 

@@ -16,7 +16,7 @@ comparison concrete.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.algebra.ops import (

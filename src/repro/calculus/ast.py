@@ -65,9 +65,22 @@ class MonoidRef:
 
 
 class Term:
-    """Base class of all calculus terms (abstract; nodes are dataclasses)."""
+    """Base class of all calculus terms (abstract; nodes are dataclasses).
+
+    Terms translated from OQL carry the source :class:`~repro.span.Span`
+    of the OQL syntax they came from, attached out-of-band in the
+    instance ``__dict__`` (``repro.span.span_of`` reads it back). The
+    span never participates in ``__eq__``/``__hash__``, so structural
+    comparison and memoized normalization are unaffected; rewritten
+    terms simply lose their spans, which is why :mod:`repro.lint` runs
+    its passes on the pre-normalization term.
+    """
 
     __slots__ = ()
+
+    # Unannotated on purpose: an annotation would become an inherited
+    # dataclass field and break every positional constructor.
+    span = None
 
     def __str__(self) -> str:  # pragma: no cover - overridden via pretty
         from repro.calculus.pretty import pretty

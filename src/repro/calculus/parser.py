@@ -35,7 +35,6 @@ import re
 from typing import Optional
 
 from repro.calculus.ast import (
-    Apply,
     Assign,
     Bind,
     BinOp,
@@ -64,7 +63,7 @@ from repro.calculus.ast import (
     Var,
 )
 from repro.errors import CalculusError
-from repro.types.infer import MONOID_PROPS, is_collection_monoid
+from repro.types.infer import MONOID_PROPS
 
 _TOKEN_RE = re.compile(
     r"""

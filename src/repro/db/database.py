@@ -18,7 +18,7 @@ the normalized term on the reference evaluator instead of the algebra
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Literal, Optional
 
 from repro.algebra.ops import Reduce
@@ -195,22 +195,64 @@ class Database:
         """Run the static checker (C/I restriction and type errors)."""
         TypeChecker(self.schema).check(term, self._extent_types())
 
+    def lint(self, oql: str) -> list:
+        """Statically analyze a query; returns all :class:`Diagnostic`\\ s.
+
+        Unlike :meth:`typecheck` this never raises on a bad query —
+        syntax errors, C/I violations, unbound names, and the
+        semantic/performance lints all come back as one batch with
+        stable ``QLxxx`` codes and source spans. See ``docs/LINT.md``.
+        """
+        from repro.lint.linter import Linter
+        from repro.types.infer import type_of_value
+
+        names = set(self.schema.extents())
+        names.update(self.catalog.extents())
+        names.update(self._object_extents)
+        names.update(self._views)
+        names.update(self.functions)
+        types = self._extent_types()
+        for extent, collection in self.catalog.extents().items():
+            if extent not in types:
+                try:
+                    types[extent] = type_of_value(collection)
+                except Exception:
+                    pass
+        return Linter(
+            self.schema, known_names=names, name_types=types
+        ).lint_source(oql)
+
     def run(
         self,
         oql: str,
         engine: Literal["auto", "algebra", "interpret"] = "auto",
         typecheck: bool = False,
+        strict: bool = False,
     ) -> Any:
-        """Answer an OQL query; returns just the value."""
-        return self.run_detailed(oql, engine=engine, typecheck=typecheck).value
+        """Answer an OQL query; returns just the value.
+
+        With ``strict=True`` the query is linted first and a
+        :class:`~repro.errors.LintError` carrying every error-severity
+        diagnostic is raised before any evaluation happens.
+        """
+        return self.run_detailed(
+            oql, engine=engine, typecheck=typecheck, strict=strict
+        ).value
 
     def run_detailed(
         self,
         oql: str,
         engine: Literal["auto", "algebra", "interpret"] = "auto",
         typecheck: bool = False,
+        strict: bool = False,
     ) -> QueryResult:
         """Answer an OQL query, keeping every intermediate artifact."""
+        if strict:
+            errors = [d for d in self.lint(oql) if d.is_error]
+            if errors:
+                from repro.errors import LintError
+
+                raise LintError(errors)
         calculus = self.translate(oql)
         if typecheck:
             self.typecheck(calculus)

@@ -8,7 +8,7 @@ executor then probes these structures.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Iterable
 
 from repro.errors import DatabaseError
 from repro.objects.store import Obj, ObjectStore

@@ -18,7 +18,7 @@ import random
 from typing import Any
 
 from repro.types.schema import Schema
-from repro.types.types import ANY, TBOOL, TColl, TClass, TFLOAT, TINT, TRecord, TSTRING
+from repro.types.types import TBOOL, TColl, TClass, TINT, TRecord, TSTRING
 from repro.values import Bag, Record
 
 _CITY_NAMES = (

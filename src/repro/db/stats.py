@@ -16,7 +16,7 @@ again after reloading extents.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from repro.db.catalog import Catalog
 from repro.eval.builtins import runtime_monoid_of

@@ -9,6 +9,12 @@ and so on.
 
 from __future__ import annotations
 
+from difflib import get_close_matches
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.span import Span
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -44,11 +50,29 @@ class CalculusError(ReproError):
 
 
 class UnboundVariableError(CalculusError):
-    """A variable occurs free where a binding was required."""
+    """A variable occurs free where a binding was required.
 
-    def __init__(self, name: str) -> None:
+    When the raiser supplies the names that *are* in scope, the message
+    carries a did-you-mean hint (mirroring :class:`UnknownMonoidError`):
+
+    >>> raise UnboundVariableError("Citeis", candidates=["Cities", "Hotels"])
+    Traceback (most recent call last):
+    ...
+    repro.errors.UnboundVariableError: unbound variable 'Citeis' (did you mean 'Cities'?)
+    """
+
+    def __init__(self, name: str, candidates: Optional[Iterable[str]] = None) -> None:
         self.name = name
-        super().__init__(f"unbound variable {name!r}")
+        self.candidates = sorted(set(candidates or ()))
+        self.suggestion = did_you_mean(name, self.candidates)
+        hint = f" (did you mean {self.suggestion!r}?)" if self.suggestion else ""
+        super().__init__(f"unbound variable {name!r}{hint}")
+
+
+def did_you_mean(name: str, candidates: Sequence[str]) -> Optional[str]:
+    """The closest in-scope candidate to ``name``, if any is close."""
+    matches = get_close_matches(name, candidates, n=1, cutoff=0.6)
+    return matches[0] if matches else None
 
 
 class EvaluationError(ReproError):
@@ -68,14 +92,29 @@ class OQLError(ReproError):
 
 
 class OQLSyntaxError(OQLError):
-    """The OQL text could not be tokenized or parsed."""
+    """The OQL text could not be tokenized or parsed.
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
-        self.line = line
-        self.column = column
-        if line:
-            message = f"{message} at line {line}, column {column}"
-        super().__init__(message)
+    Always carries a source position: raise-sites pass either a
+    :class:`~repro.span.Span` or a line/column pair (positions default
+    to ``1, 1`` rather than the old ``0`` sentinel, so the location
+    suffix is never silently suppressed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 1,
+        column: int = 1,
+        span: "Optional[Span]" = None,
+    ) -> None:
+        if span is None:
+            from repro.span import point_span
+
+            span = point_span(max(line, 1), max(column, 1))
+        self.span = span
+        self.line = span.line
+        self.column = span.column
+        super().__init__(f"{message} at {span}")
 
 
 class TranslationError(OQLError):
@@ -100,3 +139,20 @@ class VectorError(ReproError):
 
 class DatabaseError(ReproError):
     """The database facade was misused (unknown extent, bad load)."""
+
+
+class LintError(ReproError):
+    """Strict mode rejected a query because the linter found errors.
+
+    ``diagnostics`` holds every :class:`repro.lint.Diagnostic` the
+    analyzer produced (warnings included); the message summarizes the
+    error-severity ones.
+    """
+
+    def __init__(self, diagnostics: Sequence) -> None:
+        self.diagnostics = list(diagnostics)
+        errors = [d for d in self.diagnostics if getattr(d, "severity", "") == "error"]
+        head = str(errors[0]) if errors else str(self.diagnostics[0])
+        extra = len(errors) - 1
+        suffix = f" (and {extra} more error{'s' if extra > 1 else ''})" if extra > 0 else ""
+        super().__init__(f"lint failed: {head}{suffix}")

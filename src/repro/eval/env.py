@@ -43,7 +43,7 @@ class Env:
             if name in env._bindings:
                 return env._bindings[name]
             env = env._parent
-        raise UnboundVariableError(name)
+        raise UnboundVariableError(name, candidates=self.names())
 
     def has(self, name: str) -> bool:
         env: Env | None = self

@@ -1,0 +1,34 @@
+"""Static analysis for the monoid calculus (the ``repro.lint`` subsystem).
+
+The paper's headline claim is that the calculus makes inconsistencies
+*statically detectable*; this package takes that seriously at
+production scale: a pipeline of independent passes runs over a query
+and returns **all** findings as :class:`Diagnostic` objects — stable
+``QLxxx`` codes, severities, messages and source spans — instead of
+raising on the first failure.
+
+Entry points:
+
+- :func:`lint_oql` / :class:`Linter` — the library API;
+- ``Database.lint(query)`` and ``Database.run(query, strict=True)`` —
+  the facade integration;
+- ``python -m repro lint file.oql`` — the CLI with a rustc-style
+  renderer (see :mod:`repro.lint.cli`).
+
+See ``docs/LINT.md`` for the full code catalogue.
+"""
+
+from repro.lint.diagnostics import CODES, Diagnostic, sort_diagnostics
+from repro.lint.linter import DEFAULT_PASSES, Linter, lint_oql
+from repro.lint.render import render_all, render_diagnostic
+
+__all__ = [
+    "CODES",
+    "DEFAULT_PASSES",
+    "Diagnostic",
+    "Linter",
+    "lint_oql",
+    "render_all",
+    "render_diagnostic",
+    "sort_diagnostics",
+]

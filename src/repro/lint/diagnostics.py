@@ -1,0 +1,119 @@
+"""Diagnostic objects and the error-code registry.
+
+Every finding the analyzer can produce has a stable ``QLxxx`` code.
+Codes are grouped by hundreds:
+
+- ``QL0xx`` — front-end and well-formedness *errors* (the query is
+  wrong and will be rejected or misbehave);
+- ``QL1xx`` — semantics *warnings* (the query is legal but probably
+  does not mean what was written);
+- ``QL2xx`` — performance warnings (the query is legal but will be
+  evaluated worse than an equivalent phrasing).
+
+``docs/LINT.md`` catalogues every code with examples; a test asserts
+the registry and the document stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.span import Span
+
+#: Severity levels, strongest first (used for sorting).
+SEVERITIES = ("error", "warning", "info")
+
+#: code -> (severity, one-line summary). The single source of truth:
+#: passes must use these codes, docs/LINT.md must document them all.
+CODES: dict[str, tuple[str, str]] = {
+    "QL000": ("error", "OQL syntax error: the query could not be tokenized or parsed"),
+    "QL001": (
+        "error",
+        "ill-formed comprehension: a generator ranges over a collection whose "
+        "monoid properties are not a subset of the output monoid's (C/I restriction)",
+    ),
+    "QL002": (
+        "error",
+        "ill-formed homomorphism: hom[N -> M] where props(N) is not a subset of "
+        "props(M), e.g. an idempotent source into a non-idempotent target",
+    ),
+    "QL003": ("error", "unbound variable: a name is used that no binder or extent defines"),
+    "QL004": ("warning", "shadowed variable: a binder reuses a name already in scope"),
+    "QL005": ("warning", "unused generator: a generator binds a variable nothing reads"),
+    "QL006": ("error", "type error: static type checking failed outside the C/I rules"),
+    "QL101": (
+        "warning",
+        "implicit duplicate elimination: a set comprehension ranges over a "
+        "bag or list source, silently deduplicating it",
+    ),
+    "QL102": ("warning", "always-true predicate: a filter can never reject anything"),
+    "QL103": ("warning", "always-false predicate: the comprehension can never produce output"),
+    "QL201": (
+        "warning",
+        "uncorrelated cartesian product: a generator is never correlated with "
+        "any earlier generator by its source or by a predicate",
+    ),
+    "QL202": (
+        "warning",
+        "filter after uncorrelated generator: a predicate only depends on "
+        "earlier generators and could run before an expensive independent scan",
+    ),
+    "QL203": (
+        "info",
+        "pipelining blocked: the Table 3 rules cannot fully flatten this "
+        "query, leaving a nested loop the executor cannot pipeline",
+    ),
+}
+
+
+def severity_of(code: str) -> str:
+    """The registered severity of ``code``."""
+    return CODES[code][0]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: code, severity, message and source span.
+
+    >>> d = Diagnostic("QL003", "error", "unbound variable 'Citeis'",
+    ...                Span(1, 8, 1, 14), hint="did you mean 'Cities'?")
+    >>> str(d)
+    "error[QL003]: unbound variable 'Citeis' at line 1, column 8"
+    """
+
+    code: str
+    severity: str  # 'error' | 'warning' | 'info'
+    message: str
+    span: Optional[Span] = None
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def __str__(self) -> str:
+        where = f" at {self.span}" if self.span is not None else ""
+        return f"{self.severity}[{self.code}]: {self.message}{where}"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def sort_key(self) -> tuple:
+        position = (
+            (self.span.line, self.span.column) if self.span is not None else (1 << 30, 0)
+        )
+        return (*position, SEVERITIES.index(self.severity), self.code)
+
+
+def make(code: str, message: str, span: Optional[Span] = None, hint: Optional[str] = None) -> Diagnostic:
+    """Build a diagnostic with the severity registered for its code."""
+    return Diagnostic(code, severity_of(code), message, span, hint)
+
+
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Stable order: by source position, then severity, then code."""
+    return sorted(diagnostics, key=Diagnostic.sort_key)

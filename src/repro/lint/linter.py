@@ -1,0 +1,120 @@
+"""The linter: parse, translate, run every pass, batch the findings.
+
+Unlike the evaluation path — which stays fail-fast — the linter never
+raises on a bad query: syntax errors become ``QL000`` diagnostics,
+every pass runs to completion, and the caller gets one sorted,
+de-duplicated list of :class:`Diagnostic` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.calculus.ast import Term
+from repro.errors import OQLSyntaxError, ReproError, TranslationError
+from repro.lint import performance, scope, semantics, wellformed
+from repro.lint.base import LintContext
+from repro.lint.diagnostics import Diagnostic, make, sort_diagnostics
+from repro.oql.parser import parse
+from repro.oql.translate import Translator
+from repro.span import span_of
+from repro.types.schema import Schema
+from repro.types.types import Type
+
+#: The default pipeline, in documentation order.
+DEFAULT_PASSES = (wellformed.run, scope.run, semantics.run, performance.run)
+
+
+class Linter:
+    """A multi-pass static analyzer for OQL queries and calculus terms.
+
+    >>> diags = Linter(known_names={"Cities"}).lint_source(
+    ...     "select c.name from c in Citeis")
+    >>> [d.code for d in diags]
+    ['QL003']
+    >>> diags[0].hint
+    "did you mean 'Cities'?"
+    """
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        known_names: Optional[Sequence[str]] = None,
+        name_types: Optional[dict[str, Type]] = None,
+        passes: Sequence[Callable] = DEFAULT_PASSES,
+    ) -> None:
+        self.schema = schema
+        self.passes = tuple(passes)
+        names = set(known_names or ())
+        types = dict(name_types or {})
+        if schema is not None:
+            for extent in schema.extents():
+                names.add(extent)
+                types.setdefault(extent, schema.extent_type(extent))
+        self._context = LintContext(
+            schema=schema,
+            known_names=frozenset(names),
+            name_types=types,
+        )
+
+    # -- entry points ---------------------------------------------------------
+
+    def lint_source(self, source: str) -> list[Diagnostic]:
+        """Lint one OQL query given as text.
+
+        Parse/translate failures produce a single ``QL000`` diagnostic;
+        otherwise the translated term goes through every pass.
+        """
+        try:
+            node = parse(source)
+            term = Translator(self.schema).translate(node)
+        except OQLSyntaxError as err:
+            return [make("QL000", _strip_location(str(err), err.span), err.span)]
+        except TranslationError as err:
+            return [make("QL000", str(err))]
+        self._context.source = source
+        return self.lint_term(term)
+
+    def lint_term(self, term: Term) -> list[Diagnostic]:
+        """Run every pass over an already-translated calculus term."""
+        findings: list[Diagnostic] = []
+        for lint_pass in self.passes:
+            try:
+                findings.extend(lint_pass(term, self._context))
+            except ReproError as err:  # a pass must never sink the batch
+                findings.append(
+                    make("QL006", f"analysis failed: {err}", span_of(term))
+                )
+        return sort_diagnostics(_dedupe(findings))
+
+
+def _dedupe(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Drop repeated findings (same code, message and span).
+
+    Group-by translation legitimately duplicates qualifier lists into
+    the key-set and partition comprehensions; without this, each
+    finding there would appear twice.
+    """
+    seen: set[tuple] = set()
+    out: list[Diagnostic] = []
+    for diag in diagnostics:
+        key = (diag.code, diag.message, diag.span)
+        if key not in seen:
+            seen.add(key)
+            out.append(diag)
+    return out
+
+
+def _strip_location(message: str, span) -> str:
+    """Remove the ``at line L, column C`` suffix (the span carries it)."""
+    suffix = f" at {span}"
+    return message[: -len(suffix)] if message.endswith(suffix) else message
+
+
+def lint_oql(
+    source: str,
+    schema: Optional[Schema] = None,
+    known_names: Optional[Sequence[str]] = None,
+) -> list[Diagnostic]:
+    """One-shot convenience: lint OQL text against an optional schema."""
+    return Linter(schema, known_names=known_names).lint_source(source)

@@ -1,0 +1,80 @@
+"""Rustc-style diagnostic rendering: the message plus an underlined
+source excerpt.
+
+::
+
+    error[QL003]: unbound variable 'Citeis'
+      --> queries.oql:2:28
+       |
+     2 | select c.name from c in Citeis
+       |                         ^^^^^^
+       = help: did you mean 'Cities'?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lint.diagnostics import Diagnostic
+
+
+def render_diagnostic(
+    diag: Diagnostic,
+    source: Optional[str] = None,
+    filename: str = "<query>",
+) -> str:
+    """One diagnostic as a multi-line, human-facing block."""
+    lines = [f"{diag.severity}[{diag.code}]: {diag.message}"]
+    span = diag.span
+    if span is not None:
+        lines.append(f"  --> {filename}:{span.line}:{span.column}")
+        excerpt = _excerpt(source, span) if source is not None else None
+        if excerpt is not None:
+            source_line, underline = excerpt
+            gutter = f"{span.line:4d}"
+            pad = " " * len(gutter)
+            lines.append(f"{pad} |")
+            lines.append(f"{gutter} | {source_line}")
+            lines.append(f"{pad} | {underline}")
+    if diag.hint:
+        lines.append(f"   = help: {diag.hint}")
+    return "\n".join(lines)
+
+
+def render_all(
+    diagnostics: list[Diagnostic],
+    source: Optional[str] = None,
+    filename: str = "<query>",
+) -> str:
+    """Every diagnostic, blank-line separated, with a summary footer."""
+    if not diagnostics:
+        return "no diagnostics"
+    blocks = [render_diagnostic(d, source, filename) for d in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = sum(1 for d in diagnostics if d.severity == "warning")
+    infos = len(diagnostics) - errors - warnings
+    parts = []
+    if errors:
+        parts.append(f"{errors} error{'s' if errors != 1 else ''}")
+    if warnings:
+        parts.append(f"{warnings} warning{'s' if warnings != 1 else ''}")
+    if infos:
+        parts.append(f"{infos} info{'s' if infos != 1 else ''}")
+    blocks.append(", ".join(parts))
+    return "\n\n".join(blocks)
+
+
+def _excerpt(source: str, span) -> Optional[tuple[str, str]]:
+    """The source line the span starts on, plus a caret underline."""
+    lines = source.splitlines()
+    if not 1 <= span.line <= len(lines):
+        return None
+    text = lines[span.line - 1].expandtabs(1)
+    start = max(span.column - 1, 0)
+    if span.end_line == span.line:
+        end = max(span.end_column - 1, start + 1)
+    else:
+        end = len(text)  # multi-line span: underline to end of first line
+    end = min(max(end, start + 1), max(len(text), start + 1))
+    underline = " " * start + "^" * (end - start)
+    return text, underline

@@ -1,0 +1,152 @@
+"""Pass 2 — scope analysis: unbound, shadowed and unused variables.
+
+- ``QL003`` (error) — a variable occurs free that neither a binder nor
+  the database (extents, views, registered functions) defines; carries
+  a did-you-mean hint built from what *is* in scope;
+- ``QL004`` (warning) — a binder reuses a name already in scope, which
+  in a comprehension silently hides the outer binding;
+- ``QL005`` (warning) — a generator binds a variable that no later
+  qualifier and no head ever reads: dead iteration (and, in a bag
+  comprehension, a cardinality multiplier). Prefix the variable with
+  ``_`` to state the intent.
+
+Translator-invented variables (``w~3``) are skipped throughout — the
+user never wrote them.
+"""
+
+from __future__ import annotations
+
+from repro.calculus.ast import (
+    Bind,
+    Comprehension,
+    Generator,
+    Hom,
+    Lambda,
+    Let,
+    Term,
+    Var,
+)
+from repro.calculus.traversal import children, free_vars
+from repro.errors import did_you_mean
+from repro.lint.base import LintContext, is_fresh_name
+from repro.lint.diagnostics import Diagnostic, make
+from repro.span import Span, span_of
+
+name = "scope"
+
+
+def run(term: Term, ctx: LintContext) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    _walk(term, frozenset(ctx.known_names), frozenset(), ctx, diagnostics)
+    return diagnostics
+
+
+def _check_binder(
+    var_name: str,
+    span: Span | None,
+    bound: frozenset[str],
+    known: frozenset[str],
+    diagnostics: list[Diagnostic],
+) -> None:
+    if is_fresh_name(var_name):
+        return
+    if var_name in bound or var_name in known:
+        what = "an outer binding" if var_name in bound else "a database name"
+        diagnostics.append(
+            make(
+                "QL004",
+                f"variable {var_name!r} shadows {what} of the same name",
+                span,
+            )
+        )
+
+
+def _walk(
+    term: Term,
+    known: frozenset[str],
+    bound: frozenset[str],
+    ctx: LintContext,
+    diagnostics: list[Diagnostic],
+) -> None:
+    if isinstance(term, Var):
+        if term.name not in bound and term.name not in known and not is_fresh_name(term.name):
+            candidates = sorted(n for n in (bound | known) if not is_fresh_name(n))
+            suggestion = did_you_mean(term.name, candidates)
+            hint = f"did you mean {suggestion!r}?" if suggestion else None
+            diagnostics.append(
+                make("QL003", f"unbound variable {term.name!r}", span_of(term), hint)
+            )
+        return
+    if isinstance(term, Lambda):
+        _check_binder(term.param, span_of(term), bound, known, diagnostics)
+        _walk(term.body, known, bound | {term.param}, ctx, diagnostics)
+        return
+    if isinstance(term, Let):
+        _walk(term.value, known, bound, ctx, diagnostics)
+        _check_binder(term.var, span_of(term), bound, known, diagnostics)
+        _walk(term.body, known, bound | {term.var}, ctx, diagnostics)
+        return
+    if isinstance(term, Hom):
+        _walk(term.arg, known, bound, ctx, diagnostics)
+        _check_binder(term.var, span_of(term), bound, known, diagnostics)
+        _walk(term.body, known, bound | {term.var}, ctx, diagnostics)
+        return
+    if isinstance(term, Comprehension):
+        _walk_comprehension(term, known, bound, ctx, diagnostics)
+        return
+    for child in children(term):
+        _walk(child, known, bound, ctx, diagnostics)
+
+
+def _walk_comprehension(
+    term: Comprehension,
+    known: frozenset[str],
+    bound: frozenset[str],
+    ctx: LintContext,
+    diagnostics: list[Diagnostic],
+) -> None:
+    ref = term.monoid
+    if ref.key is not None:
+        _walk(ref.key, known, bound, ctx, diagnostics)
+    if ref.size is not None:
+        _walk(ref.size, known, bound, ctx, diagnostics)
+    scope = bound
+    quals = term.qualifiers
+    for i, qual in enumerate(quals):
+        if isinstance(qual, Generator):
+            _walk(qual.source, known, scope, ctx, diagnostics)
+            _check_binder(qual.var, span_of(qual), scope, known, diagnostics)
+            if not _used_later(term, i, qual.var):
+                diagnostics.append(
+                    make(
+                        "QL005",
+                        f"generator variable {qual.var!r} is never used; "
+                        "the iteration is dead (prefix with '_' if intended)",
+                        span_of(qual),
+                    )
+                )
+            scope = scope | {qual.var}
+            if qual.index_var is not None:
+                _check_binder(qual.index_var, span_of(qual), scope, known, diagnostics)
+                scope = scope | {qual.index_var}
+        elif isinstance(qual, Bind):
+            _walk(qual.value, known, scope, ctx, diagnostics)
+            _check_binder(qual.var, span_of(qual), scope, known, diagnostics)
+            scope = scope | {qual.var}
+        else:
+            _walk(qual.pred, known, scope, ctx, diagnostics)
+    _walk(term.head, known, scope, ctx, diagnostics)
+
+
+def _used_later(term: Comprehension, index: int, var_name: str) -> bool:
+    """Does anything after qualifier ``index`` read ``var_name``?
+
+    Skips the check for fresh or underscore-prefixed names. Built by
+    forming the tail of the comprehension (same monoid, so sort keys
+    count as uses) and asking for its free variables — later binders of
+    the same name correctly shadow.
+    """
+    if is_fresh_name(var_name) or var_name.startswith("_"):
+        return True
+    tail = Comprehension(term.monoid, term.head, term.qualifiers[index + 1 :])
+    return var_name in free_vars(tail)

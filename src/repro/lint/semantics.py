@@ -1,0 +1,189 @@
+"""Pass 3 — semantics lints: legal queries that lie about their intent.
+
+- ``QL101`` — a ``set`` comprehension ranges over a bag or list
+  source. That is well formed (``props(bag) ⊂ props(set)``) but it
+  *silently* deduplicates; the Albert/Grumbach-style set/bag mixing
+  hazard. Queries that asked for it (``select distinct``) are exempt —
+  the translator marks those comprehensions.
+- ``QL102`` — an always-true predicate: the filter never rejects.
+- ``QL103`` — an always-false predicate: the comprehension is the
+  monoid's zero, almost certainly a typo (e.g. ``x != x``).
+
+Truth analysis is purely syntactic (constants, constant folding over
+literals, and reflexive comparisons of effect-free terms) — no
+evaluation happens here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calculus.ast import (
+    BinOp,
+    Bind,
+    Comprehension,
+    Const,
+    Filter,
+    Generator,
+    Hom,
+    Lambda,
+    Let,
+    Term,
+    UnOp,
+)
+from repro.calculus.traversal import alpha_equal, children, has_effects
+from repro.lint.base import LintContext, collection_kind, infer_type
+from repro.lint.diagnostics import Diagnostic, make
+from repro.span import span_of
+from repro.types.types import ANY, TColl, Type
+
+name = "semantics"
+
+#: Sources whose elements may carry duplicates a set output would drop.
+_DUP_SOURCES = frozenset({"bag", "list", "sortedbag", "string"})
+
+
+def run(term: Term, ctx: LintContext) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    _walk(term, ctx, dict(ctx.name_types), diagnostics)
+    return diagnostics
+
+
+def _walk(
+    term: Term,
+    ctx: LintContext,
+    env: dict[str, Type],
+    diagnostics: list[Diagnostic],
+) -> None:
+    """Recurse carrying a type environment so generator variables
+    (``h`` in ``h.rooms``) resolve when classifying sources."""
+    if isinstance(term, Comprehension):
+        is_set = not term.monoid.is_vector and term.monoid.name == "set"
+        flag_dedup = is_set and not getattr(term, "explicit_dedup", False)
+        inner = dict(env)
+        for qual in term.qualifiers:
+            if isinstance(qual, Generator):
+                _walk(qual.source, ctx, inner, diagnostics)
+                kind = collection_kind(qual.source, ctx, inner)
+                if flag_dedup and kind in _DUP_SOURCES:
+                    diagnostics.append(
+                        make(
+                            "QL101",
+                            f"set comprehension over a {kind} source silently "
+                            f"deduplicates; write 'select distinct' if that "
+                            f"is intended, or keep the result a {kind}",
+                            span_of(qual) or span_of(term),
+                        )
+                    )
+                source_ty = infer_type(qual.source, ctx, inner)
+                inner[qual.var] = (
+                    source_ty.element if isinstance(source_ty, TColl) else ANY
+                )
+                if qual.index_var is not None:
+                    inner[qual.index_var] = ANY
+            elif isinstance(qual, Filter):
+                _check_constant_predicate(qual, diagnostics)
+                _walk(qual.pred, ctx, inner, diagnostics)
+            elif isinstance(qual, Bind):
+                _walk(qual.value, ctx, inner, diagnostics)
+                inner[qual.var] = infer_type(qual.value, ctx, inner) or ANY
+        _walk(term.head, ctx, inner, diagnostics)
+        return
+    if isinstance(term, Lambda):
+        inner = dict(env)
+        inner[term.param] = ANY
+        _walk(term.body, ctx, inner, diagnostics)
+        return
+    if isinstance(term, Let):
+        _walk(term.value, ctx, env, diagnostics)
+        inner = dict(env)
+        inner[term.var] = infer_type(term.value, ctx, env) or ANY
+        _walk(term.body, ctx, inner, diagnostics)
+        return
+    if isinstance(term, Hom):
+        _walk(term.arg, ctx, env, diagnostics)
+        inner = dict(env)
+        inner[term.var] = ANY
+        _walk(term.body, ctx, inner, diagnostics)
+        return
+    for child in children(term):
+        _walk(child, ctx, env, diagnostics)
+
+
+def _check_constant_predicate(qual: Filter, diagnostics: list[Diagnostic]) -> None:
+    truth = constant_truth(qual.pred)
+    span = span_of(qual.pred) or span_of(qual)
+    if truth is True:
+        diagnostics.append(
+            make("QL102", "predicate is always true; the filter is redundant", span)
+        )
+    elif truth is False:
+        diagnostics.append(
+            make(
+                "QL103",
+                "predicate is always false; the comprehension can never "
+                "produce anything",
+                span,
+            )
+        )
+
+
+_FOLDABLE = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: Comparisons that hold / fail on syntactically identical operands.
+_REFLEXIVE_TRUE = frozenset({"=", "<=", ">="})
+_REFLEXIVE_FALSE = frozenset({"!=", "<", ">"})
+
+
+def constant_truth(pred: Term) -> Optional[bool]:
+    """True/False when the predicate's value is statically known.
+
+    >>> from repro.calculus.builders import var, const
+    >>> constant_truth(BinOp("=", var("x"), var("x")))
+    True
+    >>> constant_truth(BinOp("<", const(1), const(2)))
+    True
+    >>> constant_truth(BinOp("!=", var("x"), var("y"))) is None
+    True
+    """
+    if isinstance(pred, Const) and isinstance(pred.value, bool):
+        return pred.value
+    if isinstance(pred, UnOp) and pred.op == "not":
+        inner = constant_truth(pred.operand)
+        return None if inner is None else not inner
+    if isinstance(pred, BinOp):
+        if pred.op == "and":
+            left, right = constant_truth(pred.left), constant_truth(pred.right)
+            if left is False or right is False:
+                return False
+            if left is True and right is True:
+                return True
+            return None
+        if pred.op == "or":
+            left, right = constant_truth(pred.left), constant_truth(pred.right)
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+            return None
+        fold = _FOLDABLE.get(pred.op)
+        if fold is None:
+            return None
+        if isinstance(pred.left, Const) and isinstance(pred.right, Const):
+            try:
+                return bool(fold(pred.left.value, pred.right.value))
+            except TypeError:
+                return None
+        if alpha_equal(pred.left, pred.right) and not has_effects(pred.left):
+            if pred.op in _REFLEXIVE_TRUE:
+                return True
+            if pred.op in _REFLEXIVE_FALSE:
+                return False
+    return None

@@ -54,13 +54,7 @@ from repro.calculus.ast import (
     TupleCons,
     UnOp,
 )
-from repro.calculus.traversal import (
-    free_vars,
-    fresh_var,
-    has_effects,
-    substitute,
-    subterms,
-)
+from repro.calculus.traversal import fresh_var, has_effects, substitute, subterms
 from repro.calculus.ast import Var
 from repro.types.infer import MONOID_PROPS, monoid_props
 

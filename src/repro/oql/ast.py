@@ -14,9 +14,21 @@ from typing import Any, Optional
 
 
 class OQLNode:
-    """Base class of OQL syntax nodes."""
+    """Base class of OQL syntax nodes.
+
+    Nodes produced by :mod:`repro.oql.parser` carry a source
+    :class:`~repro.span.Span` in their instance ``__dict__`` (read it
+    with ``repro.span.span_of``); the span is attached out-of-band so
+    it never affects structural equality or hashing. Hand-built nodes
+    simply have no span (``span_of`` returns None via this class
+    attribute).
+    """
 
     __slots__ = ()
+
+    # Unannotated on purpose: an annotation would turn this into an
+    # inherited dataclass *field* and break positional constructors.
+    span = None
 
 
 @dataclass(frozen=True)

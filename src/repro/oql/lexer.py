@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import OQLSyntaxError
+from repro.span import Span
 
 KEYWORDS = frozenset(
     {
@@ -75,9 +76,25 @@ class Token:
     text: str
     line: int
     column: int
+    #: Column just past the token's source text. 0 means "unknown"
+    #: (hand-built tokens); ``end_column``/``span`` then fall back to
+    #: ``column + len(text)``.
+    raw_end: int = 0
 
     def is_keyword(self, word: str) -> bool:
         return self.kind == "keyword" and self.text == word
+
+    @property
+    def end_column(self) -> int:
+        """Column one past the last source character of this token."""
+        if self.raw_end:
+            return self.raw_end
+        return self.column + max(len(self.text), 1)
+
+    @property
+    def span(self) -> Span:
+        """The source region this token occupies."""
+        return Span(self.line, self.column, self.line, self.end_column)
 
     def __str__(self) -> str:
         return f"{self.kind}:{self.text!r}"
@@ -127,7 +144,7 @@ def _scan(source: str) -> Iterator[Token]:
                 text = text[:-1]
                 j -= 1
                 seen_dot = False
-            yield Token("number", text, line, column)
+            yield Token("number", text, line, column, column + (j - i))
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -137,9 +154,9 @@ def _scan(source: str) -> Iterator[Token]:
             text = source[i:j]
             lowered = text.lower()
             if lowered in KEYWORDS:
-                yield Token("keyword", lowered, line, column)
+                yield Token("keyword", lowered, line, column, column + (j - i))
             else:
-                yield Token("ident", text, line, column)
+                yield Token("ident", text, line, column, column + (j - i))
             i = j
             continue
         if ch in "\"'":
@@ -155,20 +172,20 @@ def _scan(source: str) -> Iterator[Token]:
                     j += 1
             if j >= n:
                 raise OQLSyntaxError("unterminated string literal", line, column)
-            yield Token("string", "".join(parts), line, column)
+            yield Token("string", "".join(parts), line, column, column + (j + 1 - i))
             i = j + 1
             continue
         matched = False
         for op in _OPERATORS:
             if source.startswith(op, i):
-                yield Token("op", op, line, column)
+                yield Token("op", op, line, column, column + len(op))
                 i += len(op)
                 matched = True
                 break
         if matched:
             continue
         if ch in _PUNCT:
-            yield Token("punct", ch, line, column)
+            yield Token("punct", ch, line, column, column + 1)
             i += 1
             continue
         raise OQLSyntaxError(f"unexpected character {ch!r}", line, column)

@@ -43,6 +43,7 @@ from repro.oql.ast import (
     UnaryOp,
 )
 from repro.oql.lexer import Token, tokenize
+from repro.span import Span, set_span, span_of
 
 _AGGREGATES = ("count", "sum", "avg", "max", "min")
 _COMPARISONS = {"=": "=", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
@@ -109,9 +110,19 @@ class _Parser:
 
     def _fail(self, message: str) -> None:
         token = self._current
-        raise OQLSyntaxError(
-            f"{message}, found {token.kind} {token.text!r}", token.line, token.column
-        )
+        found = "end of input" if token.kind == "eof" else f"{token.kind} {token.text!r}"
+        raise OQLSyntaxError(f"{message}, found {found}", span=token.span)
+
+    # -- span plumbing --------------------------------------------------------
+
+    def _spanned(self, node: OQLNode, start: Token) -> OQLNode:
+        """Attach a span from ``start`` to the last consumed token."""
+        last = self._tokens[self._pos - 1] if self._pos > 0 else start
+        end_line, end_column = last.line, last.end_column
+        if (end_line, end_column) < (start.line, start.end_column):
+            end_line, end_column = start.line, start.end_column
+        set_span(node, Span(start.line, start.column, end_line, end_column))
+        return node
 
     # -- entry ----------------------------------------------------------------
 
@@ -127,34 +138,39 @@ class _Parser:
         return self._or_expr()
 
     def _or_expr(self) -> OQLNode:
+        start = self._current
         node = self._and_expr()
         while self._accept_keyword("or"):
-            node = BinaryOp("or", node, self._and_expr())
+            node = self._spanned(BinaryOp("or", node, self._and_expr()), start)
         return node
 
     def _and_expr(self) -> OQLNode:
+        start = self._current
         node = self._not_expr()
         while self._accept_keyword("and"):
-            node = BinaryOp("and", node, self._not_expr())
+            node = self._spanned(BinaryOp("and", node, self._not_expr()), start)
         return node
 
     def _not_expr(self) -> OQLNode:
+        start = self._current
         if self._accept_keyword("not"):
-            return UnaryOp("not", self._not_expr())
+            return self._spanned(UnaryOp("not", self._not_expr()), start)
         return self._comparison()
 
     def _comparison(self) -> OQLNode:
+        start = self._current
         node = self._additive()
         if self._current.kind == "op" and self._current.text in _COMPARISONS:
             op = _COMPARISONS[self._advance().text]
-            return BinaryOp(op, node, self._additive())
+            return self._spanned(BinaryOp(op, node, self._additive()), start)
         if self._accept_keyword("in"):
-            return BinaryOp("in", node, self._additive())
+            return self._spanned(BinaryOp("in", node, self._additive()), start)
         if self._accept_keyword("like"):
-            return BinaryOp("like", node, self._additive())
+            return self._spanned(BinaryOp("like", node, self._additive()), start)
         return node
 
     def _additive(self) -> OQLNode:
+        start = self._current
         node = self._multiplicative()
         while True:
             if self._accept("op", "+"):
@@ -167,8 +183,10 @@ class _Parser:
                 node = BinaryOp("except", node, self._multiplicative())
             else:
                 return node
+            self._spanned(node, start)
 
     def _multiplicative(self) -> OQLNode:
+        start = self._current
         node = self._unary()
         while True:
             if self._accept("op", "*"):
@@ -183,13 +201,16 @@ class _Parser:
                 node = BinaryOp("intersect", node, self._unary())
             else:
                 return node
+            self._spanned(node, start)
 
     def _unary(self) -> OQLNode:
+        start = self._current
         if self._accept("op", "-"):
-            return UnaryOp("-", self._unary())
+            return self._spanned(UnaryOp("-", self._unary()), start)
         return self._postfix()
 
     def _postfix(self) -> OQLNode:
+        start = self._current
         node = self._primary()
         while True:
             if self._accept("punct", "."):
@@ -205,6 +226,7 @@ class _Parser:
                 node = IndexOp(node, index)
             else:
                 return node
+            self._spanned(node, start)
 
     def _field_name(self) -> str:
         # Field names may collide with keywords (e.g. ``partition``,
@@ -228,6 +250,13 @@ class _Parser:
     # -- primaries --------------------------------------------------------------------
 
     def _primary(self) -> OQLNode:
+        start = self._current
+        node = self._primary_inner()
+        if span_of(node) is None:
+            self._spanned(node, start)
+        return node
+
+    def _primary_inner(self) -> OQLNode:
         token = self._current
         if token.kind == "number":
             self._advance()
@@ -334,21 +363,22 @@ class _Parser:
 
     def _from_clause(self) -> FromClause:
         # Preferred ODMG form: ``x in E``. Alternative: ``E as x``.
+        start = self._current
         if self._current.kind == "ident":
             next_token = self._tokens[self._pos + 1]
             if next_token.is_keyword("in"):
                 var = self._expect_ident()
                 self._expect_keyword("in")
                 source = self._expression()
-                return FromClause(var, source)
+                return self._spanned(FromClause(var, source), start)
         source = self._expression()
         if self._accept_keyword("as"):
             var = self._expect_ident()
-            return FromClause(var, source)
+            return self._spanned(FromClause(var, source), start)
         if self._current.kind == "ident":
             # ``E x`` — SQL-style alias without AS
             var = self._expect_ident()
-            return FromClause(var, source)
+            return self._spanned(FromClause(var, source), start)
         self._fail("from clause needs a variable: use `x in E` or `E as x`")
         raise AssertionError  # pragma: no cover
 

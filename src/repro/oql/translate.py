@@ -53,20 +53,7 @@ from repro.calculus.ast import (
     UnOp,
     Var,
 )
-from repro.calculus.builders import (
-    bind,
-    call,
-    comp,
-    eq,
-    filt,
-    gen,
-    lam,
-    method,
-    proj,
-    rec,
-    tup,
-    var,
-)
+from repro.calculus.builders import bind, call, comp, eq, gen, method, proj, rec, var
 from repro.calculus.traversal import fresh_var
 from repro.errors import TranslationError, TypingError
 from repro.oql.ast import (
@@ -78,7 +65,6 @@ from repro.oql.ast import (
     ExistsQuery,
     ForAll,
     FromClause,
-    GroupItem,
     IfExpr,
     IndexOp,
     Literal,
@@ -93,6 +79,7 @@ from repro.oql.ast import (
     UnaryOp,
 )
 from repro.oql.parser import parse
+from repro.span import set_span, span_of
 from repro.types.infer import TypeChecker
 from repro.types.schema import Schema
 from repro.types.types import TColl
@@ -132,6 +119,19 @@ class Translator:
     # -- dispatcher --------------------------------------------------------------
 
     def _tr(self, node: OQLNode) -> Term:
+        """Translate one node, copying its source span onto the term.
+
+        Spans make :mod:`repro.lint` diagnostics point back into the
+        OQL text; terms synthesized during translation (fresh
+        comprehensions, witnesses) inherit the span of the OQL
+        construct they came from.
+        """
+        term = self._tr_node(node)
+        if span_of(term) is None:
+            set_span(term, span_of(node))
+        return term
+
+    def _tr_node(self, node: OQLNode) -> Term:
         if isinstance(node, Literal):
             return Const(node.value)
         if isinstance(node, Name):
@@ -252,14 +252,24 @@ class Translator:
         if node.order_by:
             return self._tr_ordered_select(node, head, qualifiers)
         monoid = "set" if node.distinct else "bag"
-        return Comprehension(MonoidRef(monoid), head, qualifiers)
+        result = Comprehension(MonoidRef(monoid), head, qualifiers)
+        if node.distinct:
+            # The duplicate elimination was asked for in the source
+            # (``select distinct``); the linter's implicit-dedup pass
+            # (QL101) must not flag it.
+            object.__setattr__(result, "explicit_dedup", True)
+        return result
 
     def _tr_from_where(self, node: Select) -> tuple[Qualifier, ...]:
         qualifiers: list[Qualifier] = []
         for clause in node.from_clauses:
-            qualifiers.append(Generator(clause.var, self._tr(clause.source)))
+            generator = Generator(clause.var, self._tr(clause.source))
+            set_span(generator, span_of(clause))
+            qualifiers.append(generator)
         if node.where is not None:
-            qualifiers.append(Filter(self._tr(node.where)))
+            where = Filter(self._tr(node.where))
+            set_span(where, span_of(node.where))
+            qualifiers.append(where)
         return tuple(qualifiers)
 
     def _tr_ordered_select(
@@ -295,6 +305,8 @@ class Translator:
         base_quals = self._tr_from_where(node)
         key_record = rec(**{item.label: self._tr(item.key) for item in node.group_by})
         key_set = Comprehension(MonoidRef("set"), key_record, base_quals)
+        # Group keys deduplicate by design: not an implicit-dedup hazard.
+        object.__setattr__(key_set, "explicit_dedup", True)
         group_var = fresh_var("g")
 
         qualifiers: list[Qualifier] = [Generator(group_var, key_set)]
@@ -308,6 +320,9 @@ class Translator:
         partition = Comprehension(
             MonoidRef("bag"), partition_head, tuple(partition_quals)
         )
+        # The partition is a bag by ODMG fiat even over set sources;
+        # the linter must not pin that C/I mismatch on the user.
+        object.__setattr__(partition, "implicit_collection", True)
         qualifiers.append(bind("partition", partition))
 
         if node.having is not None:

@@ -9,6 +9,7 @@ Run with ``python -m repro``. Commands:
 ``\\trace <query>``    show the Table-3 normalization derivation
 ``\\plan <query>``     show translation, normal form and the plan
 ``\\define n as q``    define a named view
+``:lint on|off``      toggle post-query lint diagnostics (default on)
 ``\\extents``          list extents and sizes
 ``\\schema``           list classes and attributes
 ``\\help``             this text
@@ -34,6 +35,7 @@ class Repl:
         self.db = db
         self.out = out
         self.running = True
+        self.lint_enabled = True
 
     # -- command dispatch -------------------------------------------------------
 
@@ -45,6 +47,8 @@ class Repl:
         try:
             if line.startswith("\\"):
                 self._command(line)
+            elif line.startswith(":"):
+                self._command("\\" + line[1:])
             else:
                 self._query(line)
         except ReproError as err:
@@ -79,6 +83,15 @@ class Repl:
         elif name == "calc":
             value = self.db.run_calculus(parse_calculus(rest))
             self.out(repr(to_python(value)))
+        elif name == "lint":
+            if rest == "on":
+                self.lint_enabled = True
+            elif rest == "off":
+                self.lint_enabled = False
+            elif rest:
+                self.out("usage: :lint on|off")
+                return
+            self.out(f"lint is {'on' if self.lint_enabled else 'off'}")
         elif name == "define":
             view_name, _, body = rest.partition(" as ")
             if not body:
@@ -92,6 +105,22 @@ class Repl:
     def _query(self, oql: str) -> None:
         value = self.db.run(oql)
         self.out(repr(to_python(value)))
+        if self.lint_enabled:
+            self._report_lint(oql)
+
+    def _report_lint(self, oql: str) -> None:
+        """Print lint findings after a successful query.
+
+        The query already ran, so even error-severity findings are
+        advisory here; lint failures must never sink the result."""
+        try:
+            diagnostics = self.db.lint(oql)
+        except Exception:  # pragma: no cover - defensive
+            return
+        for diag in diagnostics:
+            self.out(f"  {diag}")
+            if diag.hint:
+                self.out(f"    = help: {diag.hint}")
 
     # -- loop ----------------------------------------------------------------------
 

@@ -1,0 +1,85 @@
+"""Source spans: line/column ranges pointing back into query text.
+
+A :class:`Span` is a half-open range over 1-based line/column positions
+in the source an AST node came from. The OQL lexer produces spans for
+tokens, the parser merges them onto OQL syntax nodes, and the
+translator copies them onto calculus terms, so that every diagnostic
+the static analyzer (:mod:`repro.lint`) emits can point at the exact
+piece of OQL that caused it.
+
+Spans are deliberately *not* dataclass fields of the AST nodes: terms
+compare and hash structurally (normalization memoizes on them), so the
+span rides along in the instance ``__dict__`` via :func:`set_span` and
+never participates in equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous source region, 1-based, end-exclusive in columns.
+
+    >>> str(Span(2, 8, 2, 12))
+    'line 2, column 8'
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+    @property
+    def location(self) -> tuple[int, int]:
+        return (self.line, self.column)
+
+    def merge(self, other: "Span") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max((self.end_line, self.end_column), (other.end_line, other.end_column))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def shifted(self, line_offset: int, first_line_column_offset: int = 0) -> "Span":
+        """The same span re-based into an enclosing document.
+
+        Used when a file holds several ``;``-separated queries: each is
+        linted on its own, then its spans are shifted back to absolute
+        file positions.
+        """
+
+        def move(line: int, column: int) -> tuple[int, int]:
+            if line == 1:
+                return line + line_offset, column + first_line_column_offset
+            return line + line_offset, column
+
+        line, column = move(self.line, self.column)
+        end_line, end_column = move(self.end_line, self.end_column)
+        return Span(line, column, end_line, end_column)
+
+
+def point_span(line: int, column: int, width: int = 1) -> Span:
+    """A span covering ``width`` columns starting at ``line:column``."""
+    return Span(line, column, line, column + max(width, 1))
+
+
+def set_span(node: Any, span: Optional[Span]) -> Any:
+    """Attach ``span`` to a (possibly frozen) AST node; returns the node.
+
+    Works on frozen dataclasses because the span bypasses the dataclass
+    machinery entirely — it lives in the instance ``__dict__`` and is
+    excluded from ``__eq__``/``__hash__``.
+    """
+    if span is not None:
+        object.__setattr__(node, "span", span)
+    return node
+
+
+def span_of(node: Any) -> Optional[Span]:
+    """The span attached to ``node``, or None."""
+    return getattr(node, "span", None)

@@ -31,7 +31,6 @@ from repro.calculus.ast import (
     Const,
     Deref,
     Empty,
-    Filter,
     Generator,
     Hom,
     If,
@@ -137,10 +136,21 @@ def check_generator_well_formed(source_monoid: str, output: MonoidRef) -> None:
 
 
 class TypeChecker:
-    """Infers types and enforces well-formedness for calculus terms."""
+    """Infers types and enforces well-formedness for calculus terms.
 
-    def __init__(self, schema: Optional[Schema] = None) -> None:
+    By default the checker is fail-fast: the first violation raises
+    (the behavior the evaluation path relies on). When ``on_error`` is
+    supplied — a callable ``(error, node) -> None`` — the checker
+    instead *collects*: every violation is reported to the callback at
+    the node that caused it, inference of that node degrades to
+    ``any``, and checking continues. This is what lets
+    :mod:`repro.lint` surface all static errors in one pass instead of
+    stopping at the first.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None, on_error=None) -> None:
         self.schema = schema
+        self._on_error = on_error
 
     # -- public API ----------------------------------------------------------
 
@@ -164,6 +174,15 @@ class TypeChecker:
     # -- dispatcher --------------------------------------------------------------
 
     def _infer(self, term: Term, env: dict[str, Type]) -> Type:
+        if self._on_error is None:
+            return self._dispatch(term, env)
+        try:
+            return self._dispatch(term, env)
+        except (TypingError, WellFormednessError) as err:
+            self._on_error(err, term)
+            return ANY
+
+    def _dispatch(self, term: Term, env: dict[str, Type]) -> Type:
         if isinstance(term, Const):
             return type_of_value(term.value)
         if isinstance(term, Var):
@@ -363,7 +382,19 @@ class TypeChecker:
                 source = self._infer(qual.source, scope)
                 element, source_monoid = self._generator_element(source)
                 if source_monoid is not None:
-                    check_generator_well_formed(source_monoid, term.monoid)
+                    try:
+                        check_generator_well_formed(source_monoid, term.monoid)
+                    except WellFormednessError as err:
+                        if self._on_error is None:
+                            raise
+                        # Report at the generator (it carries the span of
+                        # its from-clause) and keep checking the rest.
+                        # Translator-made collections (a group-by
+                        # partition is a bag by ODMG fiat, whatever the
+                        # sources) are not the user's doing — skip them
+                        # when collecting.
+                        if not getattr(term, "implicit_collection", False):
+                            self._on_error(err, qual)
                 scope[qual.var] = element
                 if qual.index_var is not None:
                     scope[qual.index_var] = TINT

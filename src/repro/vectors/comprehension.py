@@ -22,7 +22,6 @@ from typing import Any, Sequence, Union
 from repro.calculus.ast import Comprehension, MonoidRef, Qualifier, Term, TupleCons
 from repro.calculus.builders import as_term, gen
 from repro.eval.evaluator import Evaluator
-from repro.monoids import Monoid
 from repro.values import Vector
 
 

@@ -30,20 +30,7 @@ from __future__ import annotations
 import math
 from typing import Any, Sequence
 
-from repro.calculus.ast import Term
-from repro.calculus.builders import (
-    and_,
-    call,
-    comp,
-    const,
-    ge,
-    gen,
-    index,
-    lt,
-    mul,
-    sub,
-    var,
-)
+from repro.calculus.builders import call, comp, const, ge, gen, index, lt, mul, sub, var
 from repro.errors import MonoidError
 from repro.eval.evaluator import Evaluator
 from repro.monoids import PrimitiveMonoid, default_registry

@@ -5,7 +5,7 @@ import pytest
 from repro.algebra import Executor, Nest, Reduce, Scan, build_group_by_plan
 from repro.calculus import const, proj, var
 from repro.calculus.ast import MonoidRef
-from repro.db import Database, demo_company_database
+from repro.db import demo_company_database
 from repro.errors import PlanError
 from repro.eval import Evaluator
 from repro.oql import parse

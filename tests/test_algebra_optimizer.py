@@ -1,6 +1,5 @@
 """The heuristic optimizer: index selection, pushdown, key promotion."""
 
-import pytest
 
 from repro.algebra import (
     IndexScan,

@@ -13,7 +13,7 @@ from repro.algebra import (
     build_plan,
     execute_plan,
 )
-from repro.calculus import const, eq, gt, proj, var
+from repro.calculus import const, eq, proj, var
 from repro.calculus.ast import MonoidRef
 from repro.errors import EvaluationError, PlanError
 from repro.eval import Evaluator

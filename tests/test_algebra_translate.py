@@ -3,7 +3,7 @@
 import pytest
 
 from repro.algebra import Join, Reduce, Scan, SelectOp, Unnest, build_plan
-from repro.calculus import bind, comp, const, eq, filt, gen, gt, new, proj, var
+from repro.calculus import bind, comp, const, filt, gen, gt, new, var
 from repro.errors import PlanError
 from repro.oql import translate_oql
 

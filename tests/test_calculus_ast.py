@@ -3,7 +3,6 @@
 import pytest
 
 from repro.calculus import (
-    Comprehension,
     Const,
     Generator,
     MonoidRef,

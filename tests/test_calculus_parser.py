@@ -1,17 +1,13 @@
 """The calculus-notation parser, incl. round trips with the printer."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.calculus import (
     alpha_equal,
     bind,
     comp,
     const,
-    deref,
     eq,
-    filt,
     gen,
     lt,
     pretty,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.db import Database, HashIndex, travel_schema
 from repro.errors import DatabaseError, WellFormednessError
-from repro.values import Bag, Record, to_python
+from repro.values import Bag, Record
 
 
 class TestLoading:

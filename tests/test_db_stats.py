@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra import Optimizer, build_plan, estimate_cardinality, explain
+from repro.algebra import build_plan, estimate_cardinality, explain
 from repro.db import Database
 from repro.db.catalog import Catalog
 from repro.db.stats import StatisticsCollector, fanout_of, selectivity_of

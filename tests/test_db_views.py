@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra import Join, Optimizer, Scan, build_plan
-from repro.db import Database
 from repro.errors import DatabaseError
 from repro.normalize import is_canonical_comprehension
 from repro.oql import translate_oql

@@ -3,16 +3,13 @@
 import pytest
 
 from repro.calculus import (
-    add,
     bind,
     comp,
     const,
-    eq,
     filt,
     gen,
     hom,
     le,
-    lam,
     merge,
     mul,
     tup,

@@ -7,10 +7,9 @@ all answers must coincide. This pins down the whole pipeline at once.
 
 import pytest
 
-from repro.db import Database, demo_company_database, demo_travel_database
+from repro.db import Database, demo_travel_database
 from repro.eval import evaluate
 from repro.normalize import normalize
-from repro.values import to_python
 
 TRAVEL_QUERIES = [
     "select distinct c.name from c in Cities",

@@ -1,0 +1,108 @@
+"""The diagnostic registry, the Diagnostic type, and the renderer."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import CODES, Diagnostic, render_all, render_diagnostic
+from repro.lint.diagnostics import SEVERITIES, make, sort_diagnostics
+from repro.span import Span
+
+LINT_DOC = Path(__file__).parent.parent / "docs" / "LINT.md"
+
+
+class TestRegistry:
+    def test_codes_have_stable_shape(self):
+        for code in CODES:
+            assert re.fullmatch(r"QL\d{3}", code), code
+
+    def test_codes_have_valid_severities(self):
+        for code, (severity, _) in CODES.items():
+            assert severity in SEVERITIES, code
+
+    def test_every_code_documented(self):
+        doc = LINT_DOC.read_text(encoding="utf-8")
+        for code in CODES:
+            assert f"### {code}" in doc, f"{code} missing from docs/LINT.md"
+
+    def test_no_undocumented_codes_in_doc(self):
+        doc = LINT_DOC.read_text(encoding="utf-8")
+        documented = set(re.findall(r"^### (QL\d{3})", doc, re.MULTILINE))
+        assert documented == set(CODES)
+
+    def test_expected_codes_present(self):
+        expected = {
+            "QL000", "QL001", "QL002", "QL003", "QL004", "QL005", "QL006",
+            "QL101", "QL102", "QL103", "QL201", "QL202", "QL203",
+        }
+        assert expected == set(CODES)
+
+
+class TestDiagnostic:
+    def test_make_picks_registered_severity(self):
+        assert make("QL003", "x").severity == "error"
+        assert make("QL005", "x").severity == "warning"
+        assert make("QL203", "x").severity == "info"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("QL999", "error", "nope")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("QL001", "fatal", "nope")
+
+    def test_str_with_span(self):
+        diag = make("QL003", "unbound variable 'x'", Span(2, 7, 2, 8))
+        assert str(diag) == "error[QL003]: unbound variable 'x' at line 2, column 7"
+
+    def test_sorting_orders_by_position_then_code(self):
+        a = make("QL102", "later", Span(3, 1, 3, 2))
+        b = make("QL003", "earlier", Span(1, 5, 1, 6))
+        c = make("QL005", "no span")
+        assert sort_diagnostics([a, b, c]) == [b, a, c]
+
+
+class TestSpan:
+    def test_merge(self):
+        merged = Span(1, 4, 1, 9).merge(Span(2, 1, 2, 3))
+        assert merged == Span(1, 4, 2, 3)
+
+    def test_shifted_moves_first_line_only(self):
+        shifted = Span(1, 4, 2, 3).shifted(5, 10)
+        assert shifted == Span(6, 14, 7, 3)
+
+    def test_str(self):
+        assert str(Span(3, 9, 3, 12)) == "line 3, column 9"
+
+
+class TestRenderer:
+    def test_caret_underlines_span(self):
+        source = "select c.name from c in Citeis"
+        diag = make("QL003", "unbound variable 'Citeis'", Span(1, 25, 1, 31),
+                    hint="did you mean 'Cities'?")
+        block = render_diagnostic(diag, source, "q.oql")
+        lines = block.splitlines()
+        assert lines[0] == "error[QL003]: unbound variable 'Citeis'"
+        assert lines[1] == "  --> q.oql:1:25"
+        assert lines[3].endswith("Citeis")
+        caret_line = lines[4]
+        start = caret_line.index("^") - caret_line.index("|") - 2
+        assert start == 24  # zero-based column of 'Citeis'
+        assert caret_line.count("^") == len("Citeis")
+        assert lines[5] == "   = help: did you mean 'Cities'?"
+
+    def test_render_without_source_skips_excerpt(self):
+        diag = make("QL102", "always true", Span(1, 1, 1, 2))
+        block = render_diagnostic(diag)
+        assert "-->" in block and "|" not in block
+
+    def test_render_all_summary(self):
+        ds = [make("QL003", "a", Span(1, 1, 1, 2)), make("QL102", "b"),
+              make("QL203", "c")]
+        text = render_all(ds, "select 1")
+        assert text.endswith("1 error, 1 warning, 1 info")
+
+    def test_render_all_empty(self):
+        assert render_all([]) == "no diagnostics"

@@ -127,7 +127,7 @@ class TestCatalog:
 
 class TestVeval:
     def test_lists_convert_to_vectors(self):
-        from repro.calculus import call, gen as g, sub, var as v
+        from repro.calculus import gen as g, sub, var as v
         from repro.vectors import vcomp, veval
 
         n = 3

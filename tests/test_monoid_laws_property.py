@@ -34,7 +34,7 @@ from repro.monoids import (
     sorted_bag_monoid,
     sorted_monoid,
 )
-from repro.values import Bag, OrderedSet, Vector
+from repro.values import Bag, OrderedSet
 
 _SCALARS = st.integers(min_value=-50, max_value=50)
 

@@ -1,6 +1,5 @@
 """Unit tests for the collection monoids (Table 1, upper half)."""
 
-import pytest
 
 from repro.monoids import BAG, LIST, OSET, SET, STRING
 from repro.values import Bag, OrderedSet

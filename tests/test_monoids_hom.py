@@ -25,7 +25,7 @@ from repro.monoids import (
     sorted_monoid,
     sorted_bag_monoid,
 )
-from repro.values import Bag, OrderedSet
+from repro.values import Bag
 
 
 class TestWellFormedness:

@@ -1,6 +1,5 @@
 """Unit tests for the primitive monoids (Table 1, lower half)."""
 
-import pytest
 
 from repro.monoids import ALL, MAX, MIN, PROD, SOME, SUM
 

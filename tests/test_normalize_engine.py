@@ -17,7 +17,6 @@ from repro.calculus import (
 )
 from repro.eval import evaluate
 from repro.normalize import (
-    NormalizationTrace,
     is_canonical,
     is_canonical_comprehension,
     is_simple_path,

@@ -15,7 +15,6 @@ randomized coverage.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -30,14 +29,11 @@ from repro.calculus import (
     gen,
     gt,
     if_,
-    le,
     lt,
     merge,
     mul,
-    tup,
     unit,
     var,
-    zero,
 )
 from repro.calculus.ast import Comprehension, Term
 from repro.eval import Evaluator, evaluate

@@ -1,12 +1,10 @@
 """One witness per Table 3 rule: the rule fires and preserves semantics."""
 
-import pytest
 
 from repro.calculus import (
     add,
     and_,
     apply,
-    assign,
     bind,
     comp,
     const,
@@ -30,9 +28,9 @@ from repro.calculus import (
     var,
     zero,
 )
-from repro.calculus.ast import Comprehension, Empty, Merge
+from repro.calculus.ast import Empty, Merge
 from repro.eval import evaluate
-from repro.normalize import RULES_BY_NAME, count_occurrences, normalize, normalize_with_trace
+from repro.normalize import RULES_BY_NAME, count_occurrences, normalize
 from repro.values import Bag
 
 

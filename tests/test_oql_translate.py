@@ -1,9 +1,8 @@
 """The section 3 OQL -> calculus translation rules."""
 
-import pytest
 
 from repro.calculus import alpha_equal, comp, const, eq, gen, gt, proj, var
-from repro.calculus.ast import Call, Comprehension, Merge, Singleton
+from repro.calculus.ast import Call, Comprehension, Merge
 from repro.eval import evaluate
 from repro.oql import translate_oql
 from repro.values import Bag, Record, to_python

@@ -5,11 +5,10 @@ attribute names with ``#`` (``bed#``, ``hotel#``), the exact example
 collections, and the exact query text shapes from the paper.
 """
 
-import pytest
 
 from repro.db import Database
 from repro.eval import Evaluator, evaluate
-from repro.monoids import OSET, SET, SUM, LIST, BAG, VectorMonoid
+from repro.monoids import OSET, SET, SUM, LIST, VectorMonoid
 from repro.oql import translate_oql
 from repro.values import Bag, OrderedSet, Record, Vector
 

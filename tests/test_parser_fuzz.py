@@ -8,7 +8,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -68,21 +67,20 @@ _names = st.sampled_from(["x", "y", "z", "Xs", "Ys"])
 
 def _terms():
     from repro.calculus import (
-        add,
-        and_,
-        comp,
-        const,
-        eq,
-        filt,
-        gen,
-        if_,
-        lt,
-        not_,
-        proj,
-        rec,
-        tup,
-        var,
-    )
+    add,
+    comp,
+    const,
+    eq,
+    filt,
+    gen,
+    if_,
+    lt,
+    not_,
+    proj,
+    rec,
+    tup,
+    var,
+)
 
     base = st.one_of(
         st.integers(-5, 5).map(const),

@@ -8,7 +8,6 @@ interpreter, the normalizer and the algebra engine.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

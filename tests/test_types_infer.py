@@ -12,13 +12,11 @@ from repro.calculus import (
     const,
     deref,
     div,
-    eq,
     filt,
     gen,
     hom,
     if_,
     in_,
-    index,
     lam,
     let,
     lt,
@@ -37,7 +35,6 @@ from repro.types import (
     ANY,
     Schema,
     TBOOL,
-    TClass,
     TColl,
     TFLOAT,
     TINT,

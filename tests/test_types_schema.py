@@ -3,14 +3,7 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.types import (
-    ANY,
-    Schema,
-    TClass,
-    TColl,
-    TINT,
-    TSTRING,
-)
+from repro.types import Schema, TClass, TColl, TINT, TSTRING
 
 
 @pytest.fixture

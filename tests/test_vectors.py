@@ -1,15 +1,14 @@
 """Section 4.1: vector comprehensions and the example library."""
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.calculus import call, comp, const, gen, sub, var
+from repro.calculus import comp, const, gen, sub, var
 from repro.errors import MonoidError
-from repro.eval import Evaluator, evaluate
+from repro.eval import evaluate
 from repro.values import Vector
 from repro.vectors import (
     at,
@@ -39,7 +38,7 @@ class TestVectorComprehensionCore:
         term = comp("sum", var("a"), [gen("a", var("x"), at="i")])
         # plain sum head is fine; but a vec monoid demands (value, index)
         bad = vcomp("sum", 2, var("a"), var("i"), [gen("a", var("x"), at="i")])
-        from repro.calculus.ast import Comprehension, MonoidRef
+        from repro.calculus.ast import Comprehension
 
         broken = Comprehension(bad.monoid, var("a"), bad.qualifiers)
         from repro.errors import EvaluationError
