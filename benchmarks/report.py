@@ -13,7 +13,6 @@ the V1 vector checks and the U1 update timings.
 from __future__ import annotations
 
 import sys
-import time
 
 import numpy as np
 
@@ -25,17 +24,19 @@ from repro.algebra import Executor, Optimizer, build_plan
 from repro.monoids import table1
 from repro.normalize import normalize, normalize_with_trace
 from repro.objects import run_update
+from repro.obs import Tracer
 from repro.oql import translate_oql
 from repro.vectors import fft_query
 
 
 def median_time(fn, repeats: int = 5) -> float:
-    times = []
+    """Median wall time of ``fn`` measured through repro.obs spans —
+    the same clock and span machinery the query pipeline reports with."""
+    tracer = Tracer(enabled=True)
     for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    times.sort()
+        with tracer.span("call"):
+            fn()
+    times = sorted(span.duration for span in tracer.roots)
     return times[len(times) // 2]
 
 
@@ -125,6 +126,30 @@ def report_g1(sizes) -> None:
         )
 
 
+def report_p1(num_cities: int) -> None:
+    heading("P1 — pipeline phase breakdown (repro.obs spans, ms)")
+    from repro.db import demo_travel_database
+
+    queries = {
+        "filter": "select distinct c.name from c in Cities "
+                  "where c.population > 100000",
+        "unnest": "select distinct h.name from c in Cities, h in c.hotels "
+                  "where h.stars >= 4",
+        "nested": "select distinct h.name from h in "
+                  "(select distinct x from c in Cities, x in c.hotels)",
+    }
+    db = demo_travel_database(num_cities=num_cities)
+    db.profile(True)
+    phase_order = ("parse", "translate", "normalize", "plan", "optimize", "execute")
+    print("  " + "query".ljust(8) + "".join(p.rjust(11) for p in phase_order))
+    for name, oql in queries.items():
+        result = db.run_detailed(oql)
+        phases = result.span.phase_times_ms()
+        cells = "".join(f"{phases.get(p, 0.0):11.3f}" for p in phase_order)
+        print(f"  {name.ljust(8)}{cells}")
+    db.profile(False)
+
+
 def report_u1(sizes) -> None:
     heading("U1 — update program timings")
     from benchmarks.bench_section4_updates import _insertion_program, _object_db
@@ -144,6 +169,7 @@ def main(argv=None) -> int:
     v1_sizes = (16, 64) if fast else (16, 64, 256)
     u1_sizes = (100,) if fast else (100, 1000)
     g1_sizes = (50,) if fast else (50, 200)
+    p1_cities = 8 if fast else 32
 
     print("# Reproduction report — Fegaras & Maier, SIGMOD 1995")
     report_t1()
@@ -151,6 +177,7 @@ def main(argv=None) -> int:
     report_f1(f1_sizes)
     report_f2(f2_sizes)
     report_g1(g1_sizes)
+    report_p1(p1_cities)
     report_v1(v1_sizes)
     report_u1(u1_sizes)
     print("\n(shapes asserted automatically by `pytest benchmarks/`)")

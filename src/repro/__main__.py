@@ -1,7 +1,10 @@
 """``python -m repro`` — the interactive OQL shell, or subcommands.
 
 ``python -m repro lint file.oql [...]`` runs the static analyzer
-(:mod:`repro.lint.cli`); anything else starts the REPL.
+(:mod:`repro.lint.cli`); ``python -m repro explain [--analyze] [--json]
+file.oql [...]`` renders query plans with estimated — and, analyzed,
+actual — cardinalities (:mod:`repro.obs.cli`); anything else starts
+the REPL.
 """
 
 import sys
@@ -13,6 +16,10 @@ def main(argv=None):
         from repro.lint.cli import main as lint_main
 
         return lint_main(args[1:])
+    if args and args[0] == "explain":
+        from repro.obs.cli import main as explain_main
+
+        return explain_main(args[1:])
     from repro.repl import main as repl_main
 
     return repl_main(args)

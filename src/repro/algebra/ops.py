@@ -38,6 +38,14 @@ class PlanNode:
         """Variables bound in the binding environments this node emits."""
         raise NotImplementedError
 
+    def children(self) -> tuple["PlanNode", ...]:
+        """Child operators in plan order (leaves return ())."""
+        return ()
+
+    def label(self) -> str:
+        """The one-line operator description (first line of render)."""
+        return self.render(0).splitlines()[0]
+
     def render(self, indent: int = 0) -> str:
         """Explain-style tree rendering."""
         raise NotImplementedError
@@ -80,6 +88,9 @@ class SelectOp(PlanNode):
     def columns(self) -> frozenset[str]:
         return self.child.columns()
 
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
     def render(self, indent: int = 0) -> str:
         pad = "  " * indent
         return f"{pad}Select {self.pred}\n{self.child.render(indent + 1)}"
@@ -103,6 +114,9 @@ class Join(PlanNode):
 
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
 
     def render(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -137,6 +151,9 @@ class Unnest(PlanNode):
             out.add(self.index_var)
         return frozenset(out)
 
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
     def render(self, indent: int = 0) -> str:
         pad = "  " * indent
         suffix = f" [{self.index_var}]" if self.index_var else ""
@@ -153,6 +170,9 @@ class Reduce(PlanNode):
 
     def columns(self) -> frozenset[str]:
         return self.child.columns()
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
 
     def render(self, indent: int = 0) -> str:
         pad = "  " * indent
@@ -180,6 +200,9 @@ class Nest(PlanNode):
 
     def columns(self) -> frozenset[str]:
         return frozenset({label for label, _ in self.keys} | {self.part_var})
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
 
     def render(self, indent: int = 0) -> str:
         pad = "  " * indent

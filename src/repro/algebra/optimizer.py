@@ -22,6 +22,7 @@ from typing import Optional
 from repro.algebra.ops import (
     IndexScan,
     Join,
+    Nest,
     PlanNode,
     Reduce,
     Scan,
@@ -164,6 +165,12 @@ class Optimizer:
         return IndexScan(scan.var, extent, attribute, key)
 
 
+def _monoid_is_primitive(ref) -> bool:
+    from repro.monoids.registry import PRIMITIVE_MONOIDS
+
+    return not ref.is_vector and ref.name in {m.name for m in PRIMITIVE_MONOIDS}
+
+
 def _monoid_is_commutative(ref) -> bool:
     from repro.types.infer import MONOID_PROPS
 
@@ -195,6 +202,8 @@ def _equality_on_var(pred: Term, var_name: str) -> Optional[tuple[str, Term]]:
 DEFAULT_SELECTIVITY = 0.25
 DEFAULT_FANOUT = 4.0
 DEFAULT_EXTENT_SIZE = 1000.0
+#: Fraction of input rows surviving a Nest as distinct groups.
+DEFAULT_GROUP_FACTOR = 0.1
 
 
 def estimate_cardinality(
@@ -237,7 +246,12 @@ def _estimate(
     var_extents: dict[str, str],
 ) -> float:
     if isinstance(node, Reduce):
-        return _estimate(node.child, sizes, stats, var_extents)
+        base = _estimate(node.child, sizes, stats, var_extents)
+        # A primitive-monoid reduce (sum/count/max/some...) emits one
+        # value regardless of input; collection reduces keep the stream.
+        if _monoid_is_primitive(node.monoid):
+            return 1.0
+        return base
     if isinstance(node, Scan):
         if isinstance(node.source, Var):
             return float(sizes.get(node.source.name, DEFAULT_EXTENT_SIZE))
@@ -262,7 +276,36 @@ def _estimate(
         base = _estimate(node.child, sizes, stats, var_extents)
         fanout = _path_fanout(node.path, stats, var_extents)
         return base * (fanout if fanout is not None else DEFAULT_FANOUT)
+    if isinstance(node, Nest):
+        base = _estimate(node.child, sizes, stats, var_extents)
+        distinct = _keys_distinct(node, stats, var_extents)
+        if distinct is not None:
+            return max(1.0, min(base, distinct))
+        return max(1.0, base * DEFAULT_GROUP_FACTOR)
     return DEFAULT_EXTENT_SIZE
+
+
+def _keys_distinct(
+    node: Nest, stats: dict, var_extents: dict[str, str]
+) -> Optional[float]:
+    """Distinct-count bound for a Nest whose keys are all ``v.attr``
+    projections with statistics: the product of per-key distincts."""
+    product = 1.0
+    for _, term in node.keys:
+        if not (
+            isinstance(term, Proj)
+            and isinstance(term.base, Var)
+            and term.base.name in var_extents
+        ):
+            return None
+        extent_stats = stats.get(var_extents[term.base.name])
+        if extent_stats is None:
+            return None
+        attr = extent_stats.attributes.get(term.name)
+        if attr is None or attr.distinct <= 0:
+            return None
+        product *= attr.distinct
+    return product
 
 
 def _stat_selectivity(stats: dict, extent: str, attribute: str) -> Optional[float]:
@@ -328,12 +371,4 @@ def explain(
 
 
 def _plan_children(node: PlanNode) -> tuple[PlanNode, ...]:
-    if isinstance(node, Reduce):
-        return (node.child,)
-    if isinstance(node, SelectOp):
-        return (node.child,)
-    if isinstance(node, Join):
-        return (node.left, node.right)
-    if isinstance(node, Unnest):
-        return (node.child,)
-    return ()
+    return node.children()

@@ -11,13 +11,17 @@ used (build on the right input, probe from the left); otherwise a
 block nested-loop join (the right side is materialized once). The
 :class:`ExecutionStats` counter block lets benchmarks report rows
 flowing through each operator, making the pipelining-vs-materialization
-comparison concrete.
+comparison concrete. For *per-node* attribution (rows, wall time, probe
+counts on each operator instead of whole-query totals), construct the
+Executor with a :class:`repro.obs.metrics.PlanMetrics`; without one the
+binding streams are exactly the seed generators, untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterator, Optional
+import time
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.algebra.ops import (
     IndexScan,
@@ -36,6 +40,9 @@ from repro.monoids import CollectionMonoid, VectorMonoid
 from repro.objects.store import Obj
 from repro.values import OrderedSet
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.metrics import PlanMetrics
+
 
 @dataclass
 class ExecutionStats:
@@ -51,16 +58,9 @@ class ExecutionStats:
     index_probes: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "rows_scanned": self.rows_scanned,
-            "rows_joined": self.rows_joined,
-            "rows_unnested": self.rows_unnested,
-            "rows_selected_out": self.rows_selected_out,
-            "rows_reduced": self.rows_reduced,
-            "rows_grouped": self.rows_grouped,
-            "hash_builds": self.hash_builds,
-            "index_probes": self.index_probes,
-        }
+        # Derived from the dataclass fields so a counter added later can
+        # never be silently dropped from reports.
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class Executor:
@@ -76,16 +76,33 @@ class Executor:
         self,
         evaluator: Evaluator,
         indexes: Optional[dict[tuple[str, str], dict[Any, list]]] = None,
+        metrics: Optional["PlanMetrics"] = None,
     ) -> None:
         self.evaluator = evaluator
         self.indexes = indexes or {}
         self.stats = ExecutionStats()
+        #: optional per-operator collector; None keeps the seed fast path
+        self.metrics = metrics
 
     # -- public API --------------------------------------------------------------
 
     def execute(self, plan: Reduce) -> Any:
         """Run the plan to completion and return the reduced value."""
         self.stats = ExecutionStats()
+        if self.metrics is None:
+            return self._reduce(plan)
+        self.metrics.reset()
+        block = self.metrics.for_node(plan)
+        block.invocations += 1
+        start = time.perf_counter_ns()
+        try:
+            value = self._reduce(plan)
+        finally:
+            block.time_ns += time.perf_counter_ns() - start
+        block.rows_out += _result_cardinality(value)
+        return value
+
+    def _reduce(self, plan: Reduce) -> Any:
         monoid = self.evaluator.resolve_monoid(plan.monoid, self.evaluator.global_env)
         if isinstance(monoid, CollectionMonoid):
             acc = monoid.accumulator()
@@ -108,6 +125,11 @@ class Executor:
     # -- binding streams -------------------------------------------------------------
 
     def _iter(self, node: PlanNode) -> Iterator[dict[str, Any]]:
+        if self.metrics is None:
+            return self._dispatch(node)
+        return self.metrics.instrument(node, self._dispatch(node))
+
+    def _dispatch(self, node: PlanNode) -> Iterator[dict[str, Any]]:
         if isinstance(node, Scan):
             yield from self._iter_scan(node)
         elif isinstance(node, SelectOp):
@@ -153,6 +175,10 @@ class Executor:
             key = tuple(self._eval(k, right_binding) for k in node.right_keys)
             table.setdefault(key, []).append(right_binding)
             self.stats.hash_builds += 1
+        if self.metrics is not None:
+            self.metrics.for_node(node).hash_builds += sum(
+                len(bucket) for bucket in table.values()
+            )
         for left_binding in self._iter(node.left):
             key = tuple(self._eval(k, left_binding) for k in node.left_keys)
             for right_binding in table.get(key, ()):
@@ -209,6 +235,8 @@ class Executor:
             )
         key = self._eval(node.key, {})
         self.stats.index_probes += 1
+        if self.metrics is not None:
+            self.metrics.for_node(node).index_probes += 1
         for element in index.get(key, ()):
             self.stats.rows_scanned += 1
             yield {node.var: element}
@@ -246,6 +274,15 @@ class Executor:
         if binding:
             env = env.bind_many(binding)
         return self.evaluator.evaluate(term, env)
+
+
+def _result_cardinality(value: Any) -> int:
+    """Rows a Reduce 'emitted': the collection size, or 1 for scalars."""
+    from repro.values import Bag, Vector
+
+    if isinstance(value, (frozenset, tuple, Bag, OrderedSet, Vector)):
+        return len(value)
+    return 1
 
 
 def execute_plan(

@@ -38,6 +38,9 @@ from repro.eval.evaluator import Evaluator
 from repro.monoids import BAG, LIST, SET
 from repro.normalize.engine import normalize_with_trace
 from repro.normalize.trace import NormalizationTrace
+from repro.obs.metrics import PlanMetrics
+from repro.obs.querylog import QueryLog, oql_fingerprint
+from repro.obs.tracer import Tracer, TraceSpan
 from repro.objects.classes import ExtentRegistry
 from repro.objects.store import ObjectStore
 from repro.oql.parser import parse
@@ -59,6 +62,10 @@ class QueryResult:
     value: Any
     stats: Optional[ExecutionStats] = None
     engine: str = "algebra"
+    #: root trace span of this query (None unless tracing was on)
+    span: Optional[TraceSpan] = None
+    #: per-operator metrics (None unless tracing/metrics were on)
+    metrics: Optional[PlanMetrics] = None
 
     def pipeline_report(self) -> str:
         """A printable record of every pipeline stage."""
@@ -69,6 +76,12 @@ class QueryResult:
             f"rules:      {', '.join(self.trace.rules_fired()) or '(already canonical)'}",
             f"engine:     {self.engine}",
         ]
+        if self.span is not None:
+            phases = self.span.phase_times_ms()
+            lines.append(
+                "phases:     "
+                + "  ".join(f"{name}={ms:.3f}ms" for name, ms in phases.items())
+            )
         if self.plan is not None:
             lines.append("plan:")
             lines.extend("  " + l for l in self.plan.render().splitlines())
@@ -97,6 +110,10 @@ class Database:
         self._object_extents: set[str] = set()
         self._views: dict[str, Term] = {}
         self._stats: dict[str, Any] = {}
+        #: pipeline tracer; disabled by default so queries run untouched
+        self.tracer = Tracer(enabled=False)
+        #: structured query log, enabled via :meth:`profile`
+        self.query_log: Optional[QueryLog] = None
 
     # -- loading ----------------------------------------------------------------
 
@@ -245,66 +262,131 @@ class Database:
         engine: Literal["auto", "algebra", "interpret"] = "auto",
         typecheck: bool = False,
         strict: bool = False,
+        metrics: bool = False,
     ) -> QueryResult:
-        """Answer an OQL query, keeping every intermediate artifact."""
+        """Answer an OQL query, keeping every intermediate artifact.
+
+        With tracing enabled (:meth:`profile` / ``tracer.enabled``) the
+        result additionally carries the phase span tree and per-operator
+        metrics; ``metrics=True`` forces operator metrics collection for
+        this one call even while tracing is off (EXPLAIN ANALYZE does
+        this). With everything off, the pipeline is exactly the seed's.
+        """
+        with self.tracer.span("query", oql_sha256=oql_fingerprint(oql)) as qspan:
+            result = self._run_pipeline(oql, engine, typecheck, strict, metrics)
+        if qspan is not None:
+            result.span = qspan
+            if self.query_log is not None:
+                self.query_log.record(result, qspan)
+        return result
+
+    def _run_pipeline(
+        self,
+        oql: str,
+        engine: Literal["auto", "algebra", "interpret"],
+        typecheck: bool,
+        strict: bool,
+        metrics: bool,
+    ) -> QueryResult:
+        tracer = self.tracer
         if strict:
-            errors = [d for d in self.lint(oql) if d.is_error]
+            with tracer.span("lint"):
+                errors = [d for d in self.lint(oql) if d.is_error]
             if errors:
                 from repro.errors import LintError
 
                 raise LintError(errors)
-        calculus = self.translate(oql)
+        with tracer.span("parse"):
+            node = parse(oql)
+        with tracer.span("translate"):
+            from repro.calculus.traversal import substitute_many
+
+            calculus = Translator(self.schema).translate(node)
+            if self._views:
+                calculus = substitute_many(calculus, dict(self._views))
         if typecheck:
-            self.typecheck(calculus)
-        normalized, trace = normalize_with_trace(calculus)
+            with tracer.span("typecheck"):
+                self.typecheck(calculus)
+        with tracer.span("normalize"):
+            normalized, trace = normalize_with_trace(calculus)
         evaluator = self.evaluator()
+        plan_metrics = PlanMetrics() if (metrics or tracer.enabled) else None
 
         plan: Optional[Reduce] = None
         stats: Optional[ExecutionStats] = None
         used_engine = "interpret"
 
         if engine in ("auto", "algebra") and not self._views:
-            nest_result = self._try_group_by_plan(oql, evaluator)
+            nest_result = self._try_group_by_plan(node, evaluator, plan_metrics)
             if nest_result is not None:
                 plan, value, stats = nest_result
                 return QueryResult(
-                    oql, calculus, normalized, trace, plan, value, stats, "algebra"
+                    oql,
+                    calculus,
+                    normalized,
+                    trace,
+                    plan,
+                    value,
+                    stats,
+                    "algebra",
+                    metrics=plan_metrics,
                 )
         if engine in ("auto", "algebra") and isinstance(normalized, Comprehension):
             try:
                 # Re-normalize with the planning rule set (no merge splits),
                 # which keeps the term a single plannable comprehension.
-                plan = self._optimize(build_plan(normalized, pre_normalize=True))
-                executor = Executor(evaluator, self.catalog.index_mappings())
-                value = executor.execute(plan)
+                with tracer.span("plan"):
+                    logical = build_plan(normalized, pre_normalize=True)
+                with tracer.span("optimize"):
+                    plan = self._optimize(logical)
+                executor = Executor(
+                    evaluator, self.catalog.index_mappings(), metrics=plan_metrics
+                )
+                with tracer.span("execute"):
+                    value = executor.execute(plan)
                 stats = executor.stats
                 used_engine = "algebra"
                 return QueryResult(
-                    oql, calculus, normalized, trace, plan, value, stats, used_engine
+                    oql,
+                    calculus,
+                    normalized,
+                    trace,
+                    plan,
+                    value,
+                    stats,
+                    used_engine,
+                    metrics=plan_metrics,
                 )
             except PlanError:
                 if engine == "algebra":
                     raise
-        value = evaluator.evaluate(normalized)
+        with tracer.span("execute"):
+            value = evaluator.evaluate(normalized)
         return QueryResult(
             oql, calculus, normalized, trace, plan, value, stats, used_engine
         )
 
     def _try_group_by_plan(
-        self, oql: str, evaluator: Evaluator
+        self,
+        node: Any,
+        evaluator: Evaluator,
+        plan_metrics: Optional[PlanMetrics] = None,
     ) -> Optional[tuple[Reduce, Any, ExecutionStats]]:
         """A single-pass Nest plan for group-by selects (see
         :mod:`repro.algebra.groupby`); None when the shape doesn't apply."""
         from repro.algebra.groupby import build_group_by_plan
         from repro.oql.ast import Select
 
-        node = parse(oql)
         if not isinstance(node, Select) or not node.group_by:
             return None
         try:
-            plan = build_group_by_plan(node, Translator(self.schema))
-            executor = Executor(evaluator, self.catalog.index_mappings())
-            value = executor.execute(plan)
+            with self.tracer.span("plan"):
+                plan = build_group_by_plan(node, Translator(self.schema))
+            executor = Executor(
+                evaluator, self.catalog.index_mappings(), metrics=plan_metrics
+            )
+            with self.tracer.span("execute"):
+                value = executor.execute(plan)
             return plan, value, executor.stats
         except PlanError:
             return None
@@ -325,13 +407,100 @@ class Database:
         self._stats = StatisticsCollector(self.catalog, self.store).collect()
         return self._stats
 
-    def explain(self, oql: str) -> str:
-        """The optimized plan with cardinality estimates."""
+    def profile(
+        self,
+        enabled: bool = True,
+        slow_ms: Optional[float] = None,
+        sink: Optional[Any] = None,
+    ) -> None:
+        """Toggle observability: pipeline tracing plus the query log.
+
+        While on, every :meth:`run`/:meth:`run_detailed` records a phase
+        span tree and per-operator metrics (on the :class:`QueryResult`)
+        and appends one JSON entry to :attr:`query_log` — streamed to
+        ``sink`` (a ``str -> None`` callable) when given. ``slow_ms``
+        marks entries whose total time crossed the threshold. Off again
+        restores the untraced pipeline exactly.
+        """
+        self.tracer.enabled = enabled
+        self.query_log = QueryLog(sink=sink, slow_ms=slow_ms) if enabled else None
+
+    def explain(self, oql: str, analyze: bool = False) -> str:
+        """The optimized plan with cardinality estimates.
+
+        With ``analyze=True`` the query is *executed* with per-operator
+        metrics on, and every node is rendered with its estimated vs
+        actual cardinality, q-error and wall time — plus the pipeline's
+        phase timings and a cost-model accuracy summary.
+        """
+        if analyze:
+            from repro.obs.explain import render_explain
+
+            return render_explain(self.explain_data(oql, analyze=True))
         normalized, _ = normalize_with_trace(self.translate(oql))
         if not isinstance(normalized, Comprehension):
             return f"(not a comprehension: {normalized})"
         plan = self._optimize(build_plan(normalized, pre_normalize=True))
         return explain_plan(plan, self.catalog.extent_sizes(), self._stats)
+
+    def explain_data(self, oql: str, analyze: bool = False) -> dict[str, Any]:
+        """The EXPLAIN [ANALYZE] document as JSON-ready dicts.
+
+        Shape (see ``docs/OBSERVABILITY.md``): ``oql``, ``engine``,
+        ``analyzed``, a nested ``plan`` tree with per-node
+        ``estimated_rows`` (and, when analyzed, ``actual_rows``,
+        ``q_error``, ``time_ms``…), ``phases_ms`` and a ``summary``
+        block with the cost model's mean/max q-error. Queries the
+        algebra cannot plan come back with ``plan: None`` and a
+        ``note`` instead of raising.
+        """
+        from repro.obs.explain import plan_to_dict, summarize
+
+        doc: dict[str, Any] = {"oql": oql.strip(), "analyzed": analyze}
+        if not analyze:
+            normalized, _ = normalize_with_trace(self.translate(oql))
+            if not isinstance(normalized, Comprehension):
+                doc.update(
+                    engine="interpret",
+                    plan=None,
+                    note=f"not a comprehension: {normalized}",
+                )
+                return doc
+            try:
+                plan = self._optimize(build_plan(normalized, pre_normalize=True))
+            except PlanError as err:
+                doc.update(engine="interpret", plan=None, note=str(err))
+                return doc
+            doc["engine"] = "algebra"
+            doc["plan"] = plan_to_dict(
+                plan, self.catalog.extent_sizes(), self._stats
+            )
+            return doc
+
+        # ANALYZE: run the full pipeline under a dedicated tracer so the
+        # document has phase timings even when session tracing is off.
+        saved = self.tracer
+        self.tracer = Tracer(enabled=True)
+        try:
+            result = self.run_detailed(oql, metrics=True)
+        finally:
+            self.tracer = saved
+        doc["engine"] = result.engine
+        if result.span is not None:
+            doc["total_ms"] = round(result.span.duration_ms, 3)
+            doc["phases_ms"] = {
+                name: round(ms, 3)
+                for name, ms in result.span.phase_times_ms().items()
+            }
+        if result.plan is None or result.metrics is None:
+            doc["plan"] = None
+            doc["note"] = "query ran on the reference interpreter (no algebra plan)"
+            return doc
+        doc["plan"] = plan_to_dict(
+            result.plan, self.catalog.extent_sizes(), self._stats, result.metrics
+        )
+        doc["summary"] = summarize(doc["plan"])
+        return doc
 
     def _optimize(self, plan: Reduce) -> Reduce:
         return Optimizer(

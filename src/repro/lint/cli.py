@@ -7,12 +7,17 @@ diagnostic always points into the file as written.
 
 Exit status is 1 when any *error*-severity diagnostic was produced,
 0 otherwise (warnings and infos don't fail the run — mirror of how
-compilers treat ``-Wall`` without ``-Werror``).
+compilers treat ``-Wall`` without ``-Werror``). ``--json`` swaps the
+human renderer for one JSON array (one element per file, each
+diagnostic with its code, severity, message, span and hint) so CI and
+editors can consume diagnostics alongside the ``repro.obs`` trace
+exports.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Iterator, Optional
 
@@ -122,28 +127,48 @@ def main(argv: Optional[list[str]] = None, out: Callable[[str], None] = print) -
         action="store_true",
         help="print only the per-file summary lines",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON array of per-file diagnostic lists",
+    )
     args = parser.parse_args(argv)
 
     linter = _make_linter(args.schema)
     exit_code = 0
+    reports = []
     for path in args.files:
         try:
             with open(path, encoding="utf-8") as handle:
                 source = handle.read()
         except OSError as err:
-            out(f"error: cannot read {path}: {err}")
+            if args.json:
+                reports.append({"file": path, "error": str(err), "diagnostics": []})
+            else:
+                out(f"error: cannot read {path}: {err}")
             exit_code = 1
             continue
         findings = lint_text(source, linter)
         if any(d.is_error for d in findings):
             exit_code = 1
-        if args.quiet:
+        if args.json:
+            reports.append(
+                {
+                    "file": path,
+                    "errors": sum(1 for d in findings if d.severity == "error"),
+                    "warnings": sum(1 for d in findings if d.severity == "warning"),
+                    "diagnostics": [d.as_dict() for d in findings],
+                }
+            )
+        elif args.quiet:
             errors = sum(1 for d in findings if d.severity == "error")
             warnings = sum(1 for d in findings if d.severity == "warning")
             out(f"{path}: {errors} errors, {warnings} warnings")
         else:
             out(f"== {path}")
             out(render_all(findings, source, path))
+    if args.json:
+        out(json.dumps(reports, indent=2, sort_keys=True))
     return exit_code
 
 

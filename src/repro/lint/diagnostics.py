@@ -102,6 +102,24 @@ class Diagnostic:
     def is_error(self) -> bool:
         return self.severity == "error"
 
+    def as_dict(self) -> dict:
+        """JSON-ready form (used by ``repro lint --json``)."""
+        out: dict = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["span"] = {
+                "line": self.span.line,
+                "column": self.span.column,
+                "end_line": self.span.end_line,
+                "end_column": self.span.end_column,
+            }
+        if self.hint is not None:
+            out["hint"] = self.hint
+        return out
+
     def sort_key(self) -> tuple:
         position = (
             (self.span.line, self.span.column) if self.span is not None else (1 << 30, 0)

@@ -1,0 +1,37 @@
+"""repro.obs — observability for the query pipeline.
+
+Three layers, all opt-in and all zero-cost when off:
+
+- **phase spans** (:mod:`repro.obs.tracer`): nested wall-clock timings
+  for parse → translate → typecheck → normalize → plan → optimize →
+  execute, recorded by :class:`~repro.db.database.Database` per query;
+- **per-operator metrics** (:mod:`repro.obs.metrics`): rows, timings
+  and probe counts for every physical plan node, collected by the
+  :class:`~repro.algebra.physical.Executor`;
+- **EXPLAIN ANALYZE** (:mod:`repro.obs.explain`) and the **query log**
+  (:mod:`repro.obs.querylog`): estimated-vs-actual plan reports and
+  structured JSONL query records built from the two layers above.
+
+See ``docs/OBSERVABILITY.md`` for schemas and a walkthrough.
+"""
+
+from repro.obs.explain import plan_to_dict, q_error, render_explain, summarize
+from repro.obs.metrics import NodeSnapshot, OperatorMetrics, PlanMetrics
+from repro.obs.querylog import QueryLog, oql_fingerprint, query_log_entry
+from repro.obs.tracer import Tracer, TraceSpan, render_span
+
+__all__ = [
+    "NodeSnapshot",
+    "OperatorMetrics",
+    "PlanMetrics",
+    "QueryLog",
+    "TraceSpan",
+    "Tracer",
+    "oql_fingerprint",
+    "plan_to_dict",
+    "q_error",
+    "query_log_entry",
+    "render_explain",
+    "render_span",
+    "summarize",
+]

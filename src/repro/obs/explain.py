@@ -1,0 +1,141 @@
+"""EXPLAIN ANALYZE: estimated vs actual cardinalities per plan node.
+
+The optimizer's :func:`~repro.algebra.optimizer.explain` prints
+estimates; this module runs the plan (via
+:meth:`Database.explain_data <repro.db.database.Database.explain_data>`)
+and lines the estimates up against what actually flowed through every
+operator, turning the cost model's guesses into a testable artifact.
+
+The accuracy measure is the **q-error** — ``max(est, actual) /
+min(est, actual)``, floored at one row — the standard relative error
+for cardinality estimates (symmetric: a 10x over- and a 10x
+under-estimate both score 10). A perfect estimate has q-error 1.0.
+
+Two output forms share one document shape: :func:`render_explain` for
+terminals and the document itself (plain dicts/lists) for ``--json``.
+Schema in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.algebra.ops import PlanNode
+from repro.algebra.optimizer import estimate_cardinality
+from repro.obs.metrics import PlanMetrics
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """Symmetric relative cardinality error (1.0 = perfect)."""
+    est = max(1.0, float(estimated))
+    act = max(1.0, float(actual))
+    return max(est, act) / min(est, act)
+
+
+def plan_to_dict(
+    plan: PlanNode,
+    extent_sizes: Optional[dict[str, int]] = None,
+    stats: Optional[dict] = None,
+    metrics: Optional[PlanMetrics] = None,
+) -> dict[str, Any]:
+    """The plan subtree as nested dicts, annotated with estimates and —
+    when ``metrics`` is given — per-node actuals and wall time."""
+    snapshot = metrics.snapshot(plan) if metrics is not None else None
+
+    def build(node: PlanNode, snap) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "op": type(node).__name__,
+            "label": node.label(),
+            "estimated_rows": round(
+                estimate_cardinality(node, extent_sizes, stats), 2
+            ),
+        }
+        if snap is not None:
+            block = snap.metrics
+            out["actual_rows"] = block.rows_out
+            out["rows_in"] = snap.rows_in
+            out["invocations"] = block.invocations
+            out["time_ms"] = round(block.time_ms, 6)
+            out["self_time_ms"] = round(snap.self_time_ms, 6)
+            out["q_error"] = round(q_error(out["estimated_rows"], block.rows_out), 2)
+            if block.hash_builds:
+                out["hash_builds"] = block.hash_builds
+            if block.index_probes:
+                out["index_probes"] = block.index_probes
+        kids = node.children()
+        if kids:
+            out["children"] = [
+                build(child, snap.children[i] if snap is not None else None)
+                for i, child in enumerate(kids)
+            ]
+        return out
+
+    return build(plan, snapshot)
+
+
+def summarize(plan_dict: dict[str, Any]) -> dict[str, Any]:
+    """Cost-model accuracy over every analyzed node of one plan."""
+    errors: list[float] = []
+
+    def walk(node: dict[str, Any]) -> None:
+        if "q_error" in node:
+            errors.append(node["q_error"])
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(plan_dict)
+    if not errors:
+        return {"nodes": 0}
+    return {
+        "nodes": len(errors),
+        "mean_q_error": round(sum(errors) / len(errors), 2),
+        "max_q_error": round(max(errors), 2),
+    }
+
+
+def render_explain(doc: dict[str, Any]) -> str:
+    """The explain document as an aligned text tree."""
+    lines: list[str] = []
+    oql = doc.get("oql", "").strip()
+    title = "EXPLAIN ANALYZE" if doc.get("analyzed") else "EXPLAIN"
+    lines.append(f"{title}: {oql}")
+    phases = doc.get("phases_ms")
+    if phases:
+        lines.append(
+            "phases: " + "  ".join(f"{k}={v:.3f}ms" for k, v in phases.items())
+        )
+    plan = doc.get("plan")
+    if plan is None:
+        lines.append(f"(no algebra plan: {doc.get('note', 'executed by interpreter')})")
+        return "\n".join(lines)
+
+    rows: list[tuple[str, str]] = []
+
+    def walk(node: dict[str, Any], depth: int) -> None:
+        label = "  " * depth + node["label"]
+        annot = f"est~{node['estimated_rows']:g}"
+        if "actual_rows" in node:
+            annot += (
+                f"  actual={node['actual_rows']}"
+                f"  q-err={node['q_error']:g}"
+                f"  time={node['time_ms']:.3f}ms"
+                f" (self {node['self_time_ms']:.3f}ms)"
+            )
+            if node.get("hash_builds"):
+                annot += f"  hash_builds={node['hash_builds']}"
+            if node.get("index_probes"):
+                annot += f"  index_probes={node['index_probes']}"
+        rows.append((label, annot))
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    walk(plan, 0)
+    width = max(len(label) for label, _ in rows) + 3
+    lines.extend(f"{label:<{width}}{annot}" for label, annot in rows)
+    summary = doc.get("summary")
+    if summary and summary.get("nodes"):
+        lines.append(
+            f"cost model: mean q-error {summary['mean_q_error']:g}, "
+            f"max {summary['max_q_error']:g} over {summary['nodes']} nodes"
+        )
+    return "\n".join(lines)

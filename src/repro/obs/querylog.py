@@ -1,0 +1,86 @@
+"""Structured query logging: one JSON line per executed query.
+
+Opt-in via :meth:`Database.profile <repro.db.database.Database.profile>`
+(or ``:profile on`` in the REPL). Each entry carries everything needed
+to find a regression after the fact without storing the query text
+itself: a stable hash of the OQL, the engine that answered it, phase
+timings from the same :class:`~repro.obs.tracer.TraceSpan` tree the
+tracer records, the executor's row counters, and the normalizer's
+rule-fire counts.
+
+A ``slow_ms`` threshold marks entries ``"slow": true`` when the whole
+query (not just execution) exceeded it — the usual first filter when
+tailing the log. Entry schema in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Optional
+
+from repro.obs.tracer import TraceSpan
+
+
+def oql_fingerprint(oql: str) -> str:
+    """A short stable identifier for one query text (sha256 prefix)."""
+    return hashlib.sha256(oql.strip().encode("utf-8")).hexdigest()[:12]
+
+
+def query_log_entry(
+    result: Any, span: Optional[TraceSpan], slow_ms: Optional[float] = None
+) -> dict[str, Any]:
+    """Build the JSON-ready log entry for one finished query.
+
+    ``result`` is a :class:`~repro.db.database.QueryResult`; ``span``
+    the query's root trace span (None degrades to a timing-less entry).
+    """
+    entry: dict[str, Any] = {
+        "event": "query",
+        "oql_sha256": oql_fingerprint(result.oql),
+        "engine": result.engine,
+    }
+    if span is not None:
+        entry["total_ms"] = round(span.duration_ms, 3)
+        entry["phases_ms"] = {
+            name: round(ms, 3) for name, ms in span.phase_times_ms().items()
+        }
+    if result.stats is not None:
+        entry["stats"] = result.stats.as_dict()
+    entry["rule_fires"] = dict(sorted(result.trace.rule_counts().items()))
+    if slow_ms is not None and span is not None:
+        entry["slow"] = span.duration_ms >= slow_ms
+    return entry
+
+
+class QueryLog:
+    """Accumulates query entries and optionally streams them as JSONL.
+
+    ``sink`` is any ``str -> None`` callable (e.g. ``print``, a file's
+    ``write`` wrapped to add newlines, or a REPL's output function);
+    when None the entries are only kept on :attr:`entries`.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Callable[[str], None]] = None,
+        slow_ms: Optional[float] = None,
+    ) -> None:
+        self.sink = sink
+        self.slow_ms = slow_ms
+        self.entries: list[dict[str, Any]] = []
+
+    def record(self, result: Any, span: Optional[TraceSpan]) -> dict[str, Any]:
+        """Append (and emit) the entry for one finished query."""
+        entry = query_log_entry(result, span, self.slow_ms)
+        self.entries.append(entry)
+        if self.sink is not None:
+            self.sink(json.dumps(entry, sort_keys=True))
+        return entry
+
+    def slow_queries(self) -> list[dict[str, Any]]:
+        """Entries that crossed the ``slow_ms`` threshold."""
+        return [entry for entry in self.entries if entry.get("slow")]
+
+    def clear(self) -> None:
+        self.entries.clear()

@@ -1,0 +1,176 @@
+"""Nested wall-clock spans for the query pipeline.
+
+A :class:`Tracer` records one :class:`TraceSpan` tree per traced
+region. :meth:`Tracer.span` is a context manager::
+
+    tracer = Tracer(enabled=True)
+    with tracer.span("query", oql="count(Cities)"):
+        with tracer.span("parse"):
+            ...
+        with tracer.span("execute"):
+            ...
+
+When the tracer is disabled (the default for a fresh
+:class:`~repro.db.database.Database`), ``span`` returns a shared no-op
+context manager: no span objects are allocated, no clock is read, and
+the traced code runs exactly as if the ``with`` statement were absent.
+This is what keeps ``Database.run`` byte-identical to the untraced
+pipeline when observability is off.
+
+Spans export two ways: :meth:`Tracer.to_events` flattens every finished
+root into a list of JSON-ready event dicts (one per span, with a
+``parent`` index), and :func:`render_span` draws one root as an
+indented tree with durations — the form ``benchmarks/report.py`` and
+the REPL print. The schema is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class TraceSpan:
+    """One timed region: a name, a duration, metadata and children."""
+
+    name: str
+    start: float  # perf_counter seconds, comparable within one process
+    duration: float = 0.0  # seconds; 0.0 while the span is still open
+    meta: dict[str, Any] = field(default_factory=dict)
+    children: list["TraceSpan"] = field(default_factory=list)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration * 1e3
+
+    def child(self, name: str) -> Optional["TraceSpan"]:
+        """The first direct child called ``name``, or None."""
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def phase_times_ms(self) -> dict[str, float]:
+        """Direct children as a ``{name: milliseconds}`` mapping.
+
+        Repeated phase names accumulate (e.g. two ``execute`` attempts).
+        """
+        out: dict[str, float] = {}
+        for span in self.children:
+            out[span.name] = out.get(span.name, 0.0) + span.duration_ms
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """Nested JSON-ready form of this span subtree."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 6),
+        }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class _NullSpanContext:
+    """The shared do-nothing context manager used while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Collects nested spans; a null object when ``enabled`` is False.
+
+    >>> tracer = Tracer(enabled=True)
+    >>> with tracer.span("query") as q:
+    ...     with tracer.span("parse"):
+    ...         pass
+    >>> [child.name for child in tracer.roots[-1].children]
+    ['parse']
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        #: finished top-level spans, oldest first
+        self.roots: list[TraceSpan] = []
+        self._stack: list[TraceSpan] = []
+
+    def span(self, name: str, **meta: Any):
+        """A context manager timing ``name``; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self._timed(name, meta)
+
+    @contextmanager
+    def _timed(self, name: str, meta: dict[str, Any]) -> Iterator[TraceSpan]:
+        span = TraceSpan(name, time.perf_counter(), meta=dict(meta))
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - span.start
+            self._stack.pop()
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+
+    def reset(self) -> None:
+        """Drop every finished span (open spans are unaffected)."""
+        self.roots.clear()
+
+    def to_events(self) -> list[dict[str, Any]]:
+        """Every finished span as a flat, JSON-ready event list.
+
+        Events appear in pre-order; ``parent`` is the index of the
+        enclosing span's event (None for roots) and ``start_ms`` is
+        relative to the first recorded root.
+        """
+        events: list[dict[str, Any]] = []
+        if not self.roots:
+            return events
+        epoch = self.roots[0].start
+
+        def walk(span: TraceSpan, parent: Optional[int]) -> None:
+            index = len(events)
+            event: dict[str, Any] = {
+                "name": span.name,
+                "start_ms": round((span.start - epoch) * 1e3, 6),
+                "duration_ms": round(span.duration_ms, 6),
+                "parent": parent,
+            }
+            if span.meta:
+                event["meta"] = dict(span.meta)
+            events.append(event)
+            for child in span.children:
+                walk(child, index)
+
+        for root in self.roots:
+            walk(root, None)
+        return events
+
+    def render(self) -> str:
+        """All finished roots as indented trees, one line per span."""
+        return "\n".join(render_span(root) for root in self.roots)
+
+
+def render_span(span: TraceSpan, indent: int = 0) -> str:
+    """One span subtree as an indented tree with durations."""
+    pad = "  " * indent
+    lines = [f"{pad}{span.name:<12} {span.duration_ms:9.3f} ms"]
+    lines.extend(render_span(child, indent + 1) for child in span.children)
+    return "\n".join(lines)

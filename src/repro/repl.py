@@ -6,10 +6,12 @@ Run with ``python -m repro``. Commands:
 ``<oql query>``       run it; print the result
 ``\\calc <term>``      evaluate a calculus term in the paper's notation
 ``\\explain <query>``  show the optimized plan with estimates
+``\\explain analyze <query>``  run it; estimated vs actual rows per node
 ``\\trace <query>``    show the Table-3 normalization derivation
 ``\\plan <query>``     show translation, normal form and the plan
 ``\\define n as q``    define a named view
 ``:lint on|off``      toggle post-query lint diagnostics (default on)
+``:profile on|off``   toggle tracing + the JSON query log (default off)
 ``\\extents``          list extents and sizes
 ``\\schema``           list classes and attributes
 ``\\help``             this text
@@ -71,7 +73,10 @@ class Repl:
                 sup = f" extends {cls.superclass}" if cls.superclass else ""
                 self.out(f"  class {cls.name}{sup}{extent}: {attrs}")
         elif name == "explain":
-            self.out(self.db.explain(rest))
+            if rest.startswith("analyze "):
+                self.out(self.db.explain(rest[len("analyze "):].strip(), analyze=True))
+            else:
+                self.out(self.db.explain(rest))
         elif name == "trace":
             from repro.normalize import normalize_with_trace
 
@@ -92,6 +97,15 @@ class Repl:
                 self.out("usage: :lint on|off")
                 return
             self.out(f"lint is {'on' if self.lint_enabled else 'off'}")
+        elif name == "profile":
+            if rest == "on":
+                self.db.profile(True, sink=lambda line: self.out("  " + line))
+            elif rest == "off":
+                self.db.profile(False)
+            elif rest:
+                self.out("usage: :profile on|off")
+                return
+            self.out(f"profile is {'on' if self.db.tracer.enabled else 'off'}")
         elif name == "define":
             view_name, _, body = rest.partition(" as ")
             if not body:

@@ -124,3 +124,53 @@ class TestMain:
         path = tmp_path / "q.oql"
         path.write_text("count(Cities)")
         assert module_main(["lint", str(path)]) == 0
+
+
+class TestJson:
+    def run_json(self, args):
+        import json
+
+        lines = []
+        code = main(["--json", *args], out=lines.append)
+        return code, json.loads("\n".join(lines))
+
+    def test_clean_file(self, tmp_path):
+        path = tmp_path / "ok.oql"
+        path.write_text("select distinct c.name from c in Cities")
+        code, reports = self.run_json([str(path)])
+        assert code == 0
+        assert reports == [
+            {"file": str(path), "errors": 0, "warnings": 0, "diagnostics": []}
+        ]
+
+    def test_diagnostic_shape_and_rebased_span(self, tmp_path):
+        path = tmp_path / "bad.oql"
+        path.write_text("count(Cities);\nselect distinct c.name from c in Citees")
+        code, reports = self.run_json([str(path)])
+        assert code == 1
+        report = reports[0]
+        assert report["errors"] == 1
+        diag = report["diagnostics"][0]
+        assert diag["code"] == "QL003"
+        assert diag["severity"] == "error"
+        assert diag["hint"] == "did you mean 'Cities'?"
+        assert diag["span"]["line"] == 2  # rebased past the first query
+        assert diag["span"]["end_column"] > diag["span"]["column"]
+
+    def test_warnings_counted_exit_zero(self, tmp_path):
+        path = tmp_path / "warn.oql"
+        path.write_text("select distinct c.name from c in Cities where 1 = 1")
+        code, reports = self.run_json([str(path)])
+        assert code == 0
+        assert reports[0]["warnings"] >= 1
+        assert all(
+            d["severity"] != "error" for d in reports[0]["diagnostics"]
+        )
+
+    def test_missing_file_still_valid_json(self, tmp_path):
+        good = tmp_path / "good.oql"
+        good.write_text("count(Cities)")
+        code, reports = self.run_json([str(good), str(tmp_path / "nope.oql")])
+        assert code == 1
+        assert reports[0]["diagnostics"] == []
+        assert "error" in reports[1]

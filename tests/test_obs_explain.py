@@ -1,0 +1,231 @@
+"""EXPLAIN ANALYZE: the q-error, the document, the renderer, the CLI."""
+
+import json
+
+import pytest
+
+from repro.db import demo_travel_database
+from repro.obs.explain import plan_to_dict, q_error, render_explain, summarize
+
+QUERY = (
+    "select distinct h.name from c in Cities, h in c.hotels "
+    "where h.stars >= 2"
+)
+
+
+@pytest.fixture
+def db():
+    database = demo_travel_database(num_cities=5, seed=3)
+    database.analyze()
+    return database
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(2, 20) == q_error(20, 2) == 10.0
+
+    def test_floored_at_one_row(self):
+        assert q_error(0.0, 0.0) == 1.0
+        assert q_error(0.25, 1) == 1.0
+
+
+class TestPlanToDict:
+    def test_estimates_only(self, db):
+        result = db.run_detailed(QUERY)
+        doc = plan_to_dict(result.plan, db.catalog.extent_sizes(), db._stats)
+        assert doc["op"] == "Reduce"
+        assert doc["label"].startswith("Reduce")
+        assert doc["estimated_rows"] > 0
+        assert "actual_rows" not in doc
+        # the tree nests all the way down to the Scan leaf
+        node = doc
+        while "children" in node:
+            assert len(node["children"]) == 1
+            node = node["children"][0]
+        assert node["op"] == "Scan"
+
+    def test_with_metrics_adds_actuals(self, db):
+        result = db.run_detailed(QUERY, metrics=True)
+        doc = plan_to_dict(
+            result.plan, db.catalog.extent_sizes(), db._stats, result.metrics
+        )
+        node = doc
+        while True:
+            assert set(node) >= {
+                "op", "label", "estimated_rows", "actual_rows",
+                "rows_in", "invocations", "time_ms", "self_time_ms", "q_error",
+            }
+            if "children" not in node:
+                break
+            node = node["children"][0]
+        assert node["op"] == "Scan"
+        assert node["actual_rows"] == 5  # five cities scanned
+
+    def test_summarize(self, db):
+        result = db.run_detailed(QUERY, metrics=True)
+        doc = plan_to_dict(
+            result.plan, db.catalog.extent_sizes(), db._stats, result.metrics
+        )
+        summary = summarize(doc)
+        assert summary["nodes"] >= 3
+        assert 1.0 <= summary["mean_q_error"] <= summary["max_q_error"]
+
+    def test_summarize_without_actuals_counts_nothing(self, db):
+        result = db.run_detailed(QUERY)
+        doc = plan_to_dict(result.plan, db.catalog.extent_sizes(), db._stats)
+        assert summarize(doc) == {"nodes": 0}
+
+
+class TestDatabaseExplain:
+    def test_plain_explain_unchanged(self, db):
+        text = db.explain(QUERY)
+        assert "~5 rows" in text
+        assert "actual=" not in text  # seed behavior: estimates only
+
+    def test_explain_analyze_text(self, db):
+        text = db.explain(QUERY, analyze=True)
+        assert text.startswith("EXPLAIN ANALYZE:")
+        assert "phases:" in text and "execute=" in text
+        assert "actual=" in text and "q-err=" in text and "self " in text
+        assert "cost model: mean q-error" in text
+        # every plan operator appears with both columns
+        for op in ("Reduce", "Select", "Unnest", "Scan"):
+            assert op in text
+
+    def test_explain_data_document(self, db):
+        doc = db.explain_data(QUERY, analyze=True)
+        assert doc["analyzed"] is True
+        assert doc["engine"] == "algebra"
+        assert doc["total_ms"] >= 0
+        assert {"parse", "translate", "normalize", "plan", "optimize",
+                "execute"} <= set(doc["phases_ms"])
+        assert doc["summary"]["nodes"] >= 3
+        json.dumps(doc)  # the whole document is JSON-ready
+
+    def test_explain_data_without_analyze_has_no_actuals(self, db):
+        doc = db.explain_data(QUERY)
+        assert doc["analyzed"] is False
+        assert "phases_ms" not in doc
+        assert "actual_rows" not in doc["plan"]
+
+    def test_non_comprehension_query_degrades_to_note(self, db):
+        doc = db.explain_data("count(Cities)", analyze=True)
+        assert doc["plan"] is None
+        assert "note" in doc
+        text = render_explain(doc)
+        assert "(no algebra plan:" in text
+
+    def test_render_explain_without_analyze(self, db):
+        doc = db.explain_data(QUERY)
+        text = render_explain(doc)
+        assert text.startswith("EXPLAIN:")
+        assert "actual=" not in text
+
+
+class TestCli:
+    def run_cli(self, args):
+        from repro.obs.cli import main
+
+        lines = []
+        code = main(args, out=lines.append)
+        return code, "\n".join(lines)
+
+    def test_text_mode(self, tmp_path):
+        path = tmp_path / "q.oql"
+        path.write_text(QUERY + ";\ncount(Cities)")
+        code, out = self.run_cli(["--analyze", str(path)])
+        assert code == 0
+        assert "EXPLAIN ANALYZE:" in out
+        assert "actual=" in out
+        assert "(no algebra plan:" in out  # the count() query
+
+    def test_json_mode_is_valid_json(self, tmp_path):
+        path = tmp_path / "q.oql"
+        path.write_text(QUERY)
+        code, out = self.run_cli(["--analyze", "--json", str(path)])
+        assert code == 0
+        docs = json.loads(out)
+        assert docs[0]["file"] == str(path)
+        query_doc = docs[0]["queries"][0]
+        assert query_doc["analyzed"] is True
+        assert query_doc["plan"]["op"] == "Reduce"
+
+    def test_without_analyze_estimates_only(self, tmp_path):
+        path = tmp_path / "q.oql"
+        path.write_text(QUERY)
+        code, out = self.run_cli(["--json", str(path)])
+        assert code == 0
+        query_doc = json.loads(out)[0]["queries"][0]
+        assert query_doc["analyzed"] is False
+        assert "actual_rows" not in query_doc["plan"]
+
+    def test_bad_query_noted_and_exit_one(self, tmp_path):
+        path = tmp_path / "bad.oql"
+        path.write_text("select from")
+        code, out = self.run_cli(["--json", str(path)])
+        assert code == 1
+        query_doc = json.loads(out)[0]["queries"][0]
+        assert query_doc["plan"] is None
+        assert "note" in query_doc
+
+    def test_missing_file_exit_one(self, tmp_path):
+        code, out = self.run_cli([str(tmp_path / "nope.oql")])
+        assert code == 1
+        assert "cannot read" in out
+
+    def test_company_schema(self, tmp_path):
+        path = tmp_path / "q.oql"
+        path.write_text("select distinct e.name from e in Employees")
+        code, out = self.run_cli(
+            ["--schema", "company", "--analyze", str(path)]
+        )
+        assert code == 0
+        assert "Scan e <- Employees" in out
+
+    def test_module_dispatch(self, tmp_path):
+        from repro.__main__ import main as module_main
+
+        path = tmp_path / "q.oql"
+        path.write_text("select distinct c.name from c in Cities")
+        assert module_main(["explain", str(path)]) == 0
+
+    def test_example_files_explain_cleanly(self):
+        import pathlib
+
+        examples = sorted(
+            str(p) for p in
+            (pathlib.Path(__file__).parent.parent / "examples").glob("*.oql")
+        )
+        assert examples
+        code, out = self.run_cli(["--analyze", "--json", *examples])
+        assert code == 0
+        json.loads(out)
+
+
+class TestRepl:
+    def test_explain_analyze_command(self):
+        from repro.repl import Repl
+
+        outputs = []
+        repl = Repl(demo_travel_database(num_cities=3, seed=1), out=outputs.append)
+        repl.handle("\\explain analyze select distinct c.name from c in Cities")
+        text = "\n".join(outputs)
+        assert "EXPLAIN ANALYZE:" in text
+        assert "actual=" in text
+
+    def test_profile_toggle(self):
+        from repro.repl import Repl
+
+        outputs = []
+        repl = Repl(demo_travel_database(num_cities=3, seed=1), out=outputs.append)
+        repl.handle(":profile on")
+        repl.handle("count(Cities)")
+        repl.handle(":profile off")
+        text = "\n".join(outputs)
+        assert "profile is on" in text
+        assert '"event": "query"' in text  # the streamed JSONL entry
+        assert "profile is off" in text
+        assert repl.db.query_log is None

@@ -1,0 +1,118 @@
+"""The structured query log: fingerprints, entries, thresholds, sinks."""
+
+import json
+
+import pytest
+
+from repro.db import demo_travel_database
+from repro.obs.querylog import QueryLog, oql_fingerprint, query_log_entry
+
+QUERY = (
+    "select distinct h.name from c in Cities, h in c.hotels "
+    "where h.stars >= 2"
+)
+
+
+@pytest.fixture
+def db():
+    return demo_travel_database(num_cities=4, seed=7)
+
+
+class TestFingerprint:
+    def test_stable_and_short(self):
+        assert oql_fingerprint("count(Cities)") == oql_fingerprint("count(Cities)")
+        assert len(oql_fingerprint("count(Cities)")) == 12
+        int(oql_fingerprint("count(Cities)"), 16)  # hex
+
+    def test_whitespace_insensitive(self):
+        assert oql_fingerprint(" count(Cities)\n") == oql_fingerprint("count(Cities)")
+
+    def test_distinct_queries_differ(self):
+        assert oql_fingerprint("count(Cities)") != oql_fingerprint("count(Hotels)")
+
+
+class TestEntry:
+    def test_full_entry_shape(self, db):
+        db.profile(True, slow_ms=60_000.0)
+        result = db.run_detailed(QUERY)
+        entry = db.query_log.entries[-1]
+        assert entry["event"] == "query"
+        assert entry["oql_sha256"] == oql_fingerprint(QUERY)
+        assert entry["engine"] == "algebra"
+        assert entry["total_ms"] >= 0
+        assert "execute" in entry["phases_ms"]
+        assert entry["stats"] == result.stats.as_dict()
+        assert entry["rule_fires"] == dict(
+            sorted(result.trace.rule_counts().items())
+        )
+        assert entry["slow"] is False
+        json.dumps(entry)
+
+    def test_no_threshold_no_slow_key(self, db):
+        db.profile(True)
+        db.run(QUERY)
+        assert "slow" not in db.query_log.entries[-1]
+
+    def test_entry_without_span_degrades(self, db):
+        result = db.run_detailed(QUERY)
+        entry = query_log_entry(result, None, slow_ms=1.0)
+        assert entry["engine"] == "algebra"
+        assert "total_ms" not in entry
+        assert "phases_ms" not in entry
+        assert "slow" not in entry
+
+
+class TestThreshold:
+    def test_zero_threshold_marks_everything_slow(self, db):
+        db.profile(True, slow_ms=0.0)
+        db.run(QUERY)
+        db.run("count(Cities)")
+        assert [e["slow"] for e in db.query_log.entries] == [True, True]
+        assert db.query_log.slow_queries() == db.query_log.entries
+
+    def test_high_threshold_marks_nothing(self, db):
+        db.profile(True, slow_ms=60_000.0)
+        db.run(QUERY)
+        assert db.query_log.slow_queries() == []
+
+
+class TestSink:
+    def test_streams_one_json_line_per_query(self, db):
+        lines = []
+        db.profile(True, sink=lines.append)
+        db.run(QUERY)
+        db.run("count(Cities)")
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == db.query_log.entries
+        assert parsed[1]["oql_sha256"] == oql_fingerprint("count(Cities)")
+
+    def test_sorted_keys_for_stable_diffs(self, db):
+        lines = []
+        db.profile(True, sink=lines.append)
+        db.run("count(Cities)")
+        keys = list(json.loads(lines[0]))
+        assert keys == sorted(keys)
+
+
+class TestLifecycle:
+    def test_record_returns_the_entry(self, db):
+        db.profile(True)
+        result = db.run_detailed("count(Cities)")
+        log = QueryLog()
+        entry = log.record(result, result.span)
+        assert log.entries == [entry]
+
+    def test_clear(self, db):
+        db.profile(True)
+        db.run("count(Cities)")
+        db.query_log.clear()
+        assert db.query_log.entries == []
+
+    def test_interpreter_queries_are_logged_too(self, db):
+        db.profile(True)
+        db.run("count(Cities)")  # Call term: reference interpreter
+        entry = db.query_log.entries[-1]
+        assert entry["engine"] == "interpret"
+        assert "execute" in entry["phases_ms"]
+        assert "plan" not in entry["phases_ms"]
