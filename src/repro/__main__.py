@@ -3,8 +3,10 @@
 ``python -m repro lint file.oql [...]`` runs the static analyzer
 (:mod:`repro.lint.cli`); ``python -m repro explain [--analyze] [--json]
 file.oql [...]`` renders query plans with estimated — and, analyzed,
-actual — cardinalities (:mod:`repro.obs.cli`); anything else starts
-the REPL.
+actual — cardinalities (:mod:`repro.obs.cli`); ``python -m repro
+verify <file.oql | query> [...]`` executes queries with the
+rewrite-soundness verifier on (:mod:`repro.analysis.cli`); anything
+else starts the REPL.
 """
 
 import sys
@@ -20,6 +22,10 @@ def main(argv=None):
         from repro.obs.cli import main as explain_main
 
         return explain_main(args[1:])
+    if args and args[0] == "verify":
+        from repro.analysis.cli import main as verify_main
+
+        return verify_main(args[1:])
     from repro.repl import main as repl_main
 
     return repl_main(args)

@@ -30,6 +30,7 @@ from repro.algebra.ops import (
     Unnest,
 )
 from repro.algebra.translate import _try_join_keys
+from repro.analysis.verifier import resolve_verify
 from repro.calculus.ast import BinOp, Proj, Term, Var
 from repro.calculus.traversal import free_vars
 
@@ -42,22 +43,33 @@ class Optimizer:
     Join whose right (build) side is estimated larger than its left
     (probe) side is flipped. Flipping reorders the output stream, so it
     is applied only when the plan's output monoid is commutative.
+
+    ``verify=True`` checks both the input and the rewritten plan for
+    schema/scoping consistency (see :mod:`repro.analysis.plancheck`);
+    ``None`` defers to the global verification switch.
     """
 
     def __init__(
         self,
         available_indexes: Optional[set[tuple[str, str]]] = None,
         extent_sizes: Optional[dict[str, int]] = None,
+        verify: Optional[bool] = None,
     ) -> None:
         self.available_indexes = available_indexes or set()
         self.extent_sizes = extent_sizes or {}
+        self.verify = verify
 
     def optimize(self, plan: Reduce) -> Reduce:
         """Rewrite the plan; the result is executable by the Executor."""
         child = self._opt(plan.child)
         if self.extent_sizes and _monoid_is_commutative(plan.monoid):
             child = self._choose_build_sides(child)
-        return Reduce(plan.monoid, plan.head, child)
+        result = Reduce(plan.monoid, plan.head, child)
+        if resolve_verify(self.verify):
+            from repro.analysis.plancheck import check_plan_rewrite
+
+            check_plan_rewrite("optimizer", plan, result)
+        return result
 
     def _choose_build_sides(self, node: PlanNode) -> PlanNode:
         if isinstance(node, Join):

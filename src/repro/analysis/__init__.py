@@ -1,0 +1,79 @@
+"""repro.analysis — IR dataflow analyses and rewrite-soundness verification.
+
+Three layers:
+
+- :mod:`repro.analysis.dataflow` — binding-aware traversal, use counts,
+  def-use chains and alpha renaming, shared by the normalizer's guards,
+  the lint passes and the verifier;
+- :mod:`repro.analysis.invariants` — the invariant catalog a sound
+  rewrite must satisfy (scope, effects, §3 monoid coherence, types);
+- :mod:`repro.analysis.verifier` / :mod:`repro.analysis.plancheck` —
+  the rewrite-soundness verifier hooked into the normalization engine
+  and the plan optimizer, enabled by ``Database.run(verify=True)`` or
+  ``REPRO_VERIFY=1``.
+
+See ``docs/ANALYSIS.md`` for the full catalog and usage.
+"""
+
+from repro.analysis.dataflow import (
+    BindingInfo,
+    DefUse,
+    alpha_rename,
+    def_use,
+    free_var_counts,
+    scoped_subterms,
+    use_count,
+)
+from repro.analysis.invariants import (
+    Violation,
+    check_coherence,
+    check_effects,
+    check_scope,
+    check_types,
+    coherence_violations,
+    effect_count,
+)
+from repro.analysis.verifier import (
+    RewriteVerifier,
+    resolve_verify,
+    verification,
+    verification_enabled,
+)
+
+# The plan checker imports repro.algebra, whose package __init__ pulls
+# in the normalizer — which itself uses this package's dataflow layer.
+# Loading it lazily keeps `normalize.rules -> analysis.dataflow` cycle-free.
+_PLANCHECK_EXPORTS = ("check_plan_rewrite", "plan_variables", "verify_plan")
+
+
+def __getattr__(name: str):
+    if name in _PLANCHECK_EXPORTS:
+        from repro.analysis import plancheck
+
+        return getattr(plancheck, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BindingInfo",
+    "DefUse",
+    "RewriteVerifier",
+    "Violation",
+    "alpha_rename",
+    "check_coherence",
+    "check_effects",
+    "check_plan_rewrite",
+    "check_scope",
+    "check_types",
+    "coherence_violations",
+    "def_use",
+    "effect_count",
+    "free_var_counts",
+    "plan_variables",
+    "resolve_verify",
+    "scoped_subterms",
+    "use_count",
+    "verification",
+    "verification_enabled",
+    "verify_plan",
+]

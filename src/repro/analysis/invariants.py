@@ -1,0 +1,225 @@
+"""The rewrite invariant catalog.
+
+Each checker compares a term before and after a rewrite and returns the
+:class:`Violation`\\ s it finds (empty list = invariant holds). The
+catalog encodes what "sound" means for a Table 3 rule fire:
+
+``scope``
+    No free variable appears in the result that was not free in the
+    input — a rewrite may *drop* free occurrences (dead code) but never
+    invent one, which is what a bound variable escaping its binder
+    looks like.
+``effects``
+    The number of effectful operations (``new``, ``:=``, ``+=``) does
+    not grow: duplicating an effect changes observable behavior.
+``coherence``
+    The §3 restriction ``props(N) ⊆ props(M)`` on every generator and
+    homomorphism whose source monoid is syntactically known. Compared
+    as *non-introduction*: the result may carry over a latent violation
+    already present in the input (inner qualifiers migrate outward
+    under N9), but a rewrite must never create a violation over a
+    source monoid that was clean before.
+``type``
+    When both sides are inferable under a permissive environment (all
+    free variables typed ``any``), the inferred types must stay
+    compatible. Inference is gradual, so this is best-effort — but it
+    pins the collection monoid of the result, which is exactly what a
+    set-vs-bag bug changes.
+
+The fifth invariant — alpha-invariance — needs to *re-apply* the rule
+and so lives in :class:`repro.analysis.verifier.RewriteVerifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.calculus.ast import (
+    Comprehension,
+    Empty,
+    Generator,
+    Hom,
+    Merge,
+    MonoidRef,
+    Singleton,
+    Term,
+)
+from repro.calculus.ast import EFFECTFUL_NODES
+from repro.calculus.traversal import free_vars
+from repro.errors import ReproError, TypingError, WellFormednessError
+from repro.types.infer import (
+    MONOID_PROPS,
+    TypeChecker,
+    check_generator_well_formed,
+    compatible,
+    is_collection_monoid,
+)
+from repro.types.types import ANY, Type
+
+from repro.analysis.dataflow import scoped_subterms
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated invariant, named and explained."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+# ---------------------------------------------------------------------------
+# Scope
+# ---------------------------------------------------------------------------
+
+
+def check_scope(before: Term, after: Term) -> list[Violation]:
+    """No free variable may escape into existence."""
+    escaped = free_vars(after) - free_vars(before)
+    if escaped:
+        return [
+            Violation(
+                "scope",
+                f"free variable(s) {sorted(escaped)} appear in the result "
+                "but were bound (or absent) in the input",
+            )
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Effects
+# ---------------------------------------------------------------------------
+
+
+def effect_count(term: Term) -> int:
+    """Number of effectful nodes (``new``/``:=``/``+=``) in ``term``."""
+    return sum(
+        1 for sub, _ in scoped_subterms(term) if isinstance(sub, EFFECTFUL_NODES)
+    )
+
+
+def check_effects(before: Term, after: Term) -> list[Violation]:
+    """A rewrite must not duplicate heap effects."""
+    b, a = effect_count(before), effect_count(after)
+    if a > b:
+        return [
+            Violation(
+                "effects",
+                f"effectful operations duplicated: {b} before, {a} after",
+            )
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Monoid coherence (§3)
+# ---------------------------------------------------------------------------
+
+
+def _syntactic_source_monoid(term: Term) -> Optional[str]:
+    """The collection monoid a generator source evaluates into, when the
+    source is a literal monoid construction (zero/unit/merge/comprehension)."""
+    if isinstance(term, (Empty, Singleton, Merge, Comprehension)):
+        ref: MonoidRef = term.monoid
+        if ref.is_vector:
+            return None
+        return ref.name
+    return None
+
+
+def coherence_violations(term: Term) -> frozenset[str]:
+    """Source-monoid names over which ``term`` breaks the §3 restriction.
+
+    Keyed by source monoid name rather than position: rules like N9
+    shuffle qualifier positions while preserving which monoids flow
+    into which, so positional keys would misreport a migrated latent
+    violation as a fresh one.
+    """
+    bad: set[str] = set()
+    for sub, _ in scoped_subterms(term):
+        if isinstance(sub, Comprehension):
+            if sub.monoid.is_vector:
+                continue
+            for qual in sub.qualifiers:
+                if not isinstance(qual, Generator):
+                    continue
+                src = _syntactic_source_monoid(qual.source)
+                if src is None or not is_collection_monoid(src):
+                    continue
+                try:
+                    check_generator_well_formed(src, sub.monoid)
+                except WellFormednessError:
+                    bad.add(src)
+                except TypingError:
+                    pass  # output monoid not statically known
+        elif isinstance(sub, Hom):
+            src_name = sub.source.name
+            tgt_name = sub.target.name
+            if (
+                not sub.source.is_vector
+                and not sub.target.is_vector
+                and is_collection_monoid(src_name)
+                and tgt_name in MONOID_PROPS
+            ):
+                try:
+                    check_generator_well_formed(src_name, sub.target)
+                except WellFormednessError:
+                    bad.add(src_name)
+                except TypingError:
+                    pass
+    return frozenset(bad)
+
+
+def check_coherence(before: Term, after: Term) -> list[Violation]:
+    """A rewrite must not introduce a §3 coherence violation."""
+    introduced = coherence_violations(after) - coherence_violations(before)
+    if introduced:
+        return [
+            Violation(
+                "coherence",
+                "props(N) ⊆ props(M) newly violated for generator source "
+                f"monoid(s) {sorted(introduced)}",
+            )
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Type preservation
+# ---------------------------------------------------------------------------
+
+
+def check_types(
+    before: Term, after: Term, type_env: Optional[dict[str, Type]] = None
+) -> list[Violation]:
+    """Inferred types must stay compatible when both sides are inferable.
+
+    Free variables default to ``any``. When either side fails to infer
+    the check is skipped: under gradual typing a sound rewrite can
+    surface a latent type error (beta reduction exposing ``'s' + 1``),
+    and punishing that would make the verifier unusable on unchecked
+    terms.
+    """
+    names = free_vars(before) | free_vars(after)
+    env: dict[str, Type] = {name: ANY for name in names}
+    if type_env:
+        env.update({k: v for k, v in type_env.items() if k in names})
+    try:
+        before_ty = TypeChecker().infer(before, env)
+        after_ty = TypeChecker().infer(after, env)
+    except ReproError:
+        return []
+    except (KeyError, IndexError, RecursionError):  # defensive: checker bugs
+        return []
+    if not compatible(before_ty, after_ty):
+        return [
+            Violation(
+                "type",
+                f"inferred type changed: {before_ty} before, {after_ty} after",
+            )
+        ]
+    return []

@@ -1,0 +1,158 @@
+"""The rewrite-soundness verifier and its enablement switches.
+
+When verification is on, the normalization engine and the algebra
+optimizer snapshot every rule fire and hand the before/after pair to
+:class:`RewriteVerifier`, which runs the invariant catalog from
+:mod:`repro.analysis.invariants` plus an alpha-invariance probe, and
+raises :class:`~repro.errors.VerificationError` on the first unsound
+rewrite.
+
+Verification is off by default and the off path is byte-identical to a
+build without this module (no snapshots, no checks). Three switches,
+in precedence order:
+
+1. an explicit ``verify=`` argument to ``normalize_with_trace`` /
+   ``Optimizer`` / ``Database.run``;
+2. the :func:`verification` context manager (used by ``Database.run``
+   to cover the internal re-normalization inside ``build_plan``);
+3. the ``REPRO_VERIFY=1`` environment variable (used by CI's
+   verify-mode job).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.calculus.ast import Term
+from repro.calculus.traversal import alpha_equal
+from repro.errors import VerificationError
+from repro.span import span_of
+from repro.types.types import Type
+
+from repro.analysis.dataflow import alpha_rename
+from repro.analysis.invariants import (
+    Violation,
+    check_coherence,
+    check_effects,
+    check_scope,
+    check_types,
+)
+
+# ---------------------------------------------------------------------------
+# Enablement
+# ---------------------------------------------------------------------------
+
+#: Session-level override installed by :func:`verification`; ``None``
+#: defers to the environment.
+_OVERRIDE: Optional[bool] = None
+
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def verification_enabled() -> bool:
+    """Is rewrite verification currently on?"""
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return os.environ.get("REPRO_VERIFY", "").strip().lower() not in _FALSEY
+
+
+@contextmanager
+def verification(enabled: Optional[bool]) -> Iterator[None]:
+    """Force verification on or off for the dynamic extent of the block.
+
+    ``verification(None)`` is a no-op (the environment keeps deciding),
+    so callers can thread an optional ``verify=`` parameter through
+    without special-casing.
+    """
+    global _OVERRIDE
+    saved = _OVERRIDE
+    if enabled is not None:
+        _OVERRIDE = enabled
+    try:
+        yield
+    finally:
+        _OVERRIDE = saved
+
+
+def resolve_verify(verify: Optional[bool]) -> bool:
+    """An explicit flag wins; ``None`` falls back to the global switch."""
+    return verification_enabled() if verify is None else verify
+
+
+# ---------------------------------------------------------------------------
+# The verifier
+# ---------------------------------------------------------------------------
+
+
+class RewriteVerifier:
+    """Checks every rule fire against the invariant catalog.
+
+    ``type_env`` optionally supplies known types for free variables
+    (tightening the type-preservation check); ``alpha_check`` controls
+    the re-application probe, which costs one extra rule application
+    per fire.
+    """
+
+    def __init__(
+        self,
+        type_env: Optional[dict[str, Type]] = None,
+        alpha_check: bool = True,
+    ) -> None:
+        self.type_env = type_env
+        self.alpha_check = alpha_check
+        #: Fires checked so far — lets callers report verification coverage.
+        self.checked = 0
+
+    def check_rewrite(self, rule: Any, before: Term, after: Term) -> None:
+        """Raise :class:`VerificationError` if ``rule``'s fire was unsound."""
+        name = getattr(rule, "name", str(rule))
+        violations: list[Violation] = []
+        violations += check_scope(before, after)
+        violations += check_effects(before, after)
+        violations += check_coherence(before, after)
+        violations += check_types(before, after, self.type_env)
+        if self.alpha_check and hasattr(rule, "apply"):
+            violations += self._check_alpha(rule, before, after)
+        self.checked += 1
+        if violations:
+            raise VerificationError(
+                name, before, after, violations, span=span_of(before)
+            )
+
+    def _check_alpha(self, rule: Any, before: Term, after: Term) -> list[Violation]:
+        """Re-apply the rule to a freshened alpha-variant of the input.
+
+        A correct rule is insensitive to the spelling of bound
+        variables: it must still fire, and produce an alpha-equivalent
+        result. A rule that captures a variable (naive substitution)
+        or keys on concrete bound names fails this probe.
+        """
+        renamed = alpha_rename(before)
+        try:
+            redone = rule.apply(renamed)
+        except Exception as err:  # noqa: BLE001 - any crash is a finding
+            return [
+                Violation(
+                    "alpha",
+                    f"rule crashed on an alpha-variant of its input: {err!r}",
+                )
+            ]
+        if redone is None:
+            return [
+                Violation(
+                    "alpha",
+                    "rule no longer fires on an alpha-variant of its input "
+                    "(matching depends on bound-variable names)",
+                )
+            ]
+        if not alpha_equal(redone, after):
+            return [
+                Violation(
+                    "alpha",
+                    "result differs on an alpha-variant of the input: "
+                    "bound-variable capture or name dependence",
+                )
+            ]
+        return []

@@ -25,6 +25,7 @@ from repro.algebra.ops import Reduce
 from repro.algebra.optimizer import Optimizer, explain as explain_plan
 from repro.algebra.physical import ExecutionStats, Executor
 from repro.algebra.translate import build_plan
+from repro.analysis.verifier import resolve_verify, verification
 from repro.calculus.ast import Comprehension, Term
 from repro.db.catalog import Catalog
 from repro.db.sample_data import (
@@ -245,15 +246,23 @@ class Database:
         engine: Literal["auto", "algebra", "interpret"] = "auto",
         typecheck: bool = False,
         strict: bool = False,
+        verify: Optional[bool] = None,
     ) -> Any:
         """Answer an OQL query; returns just the value.
 
         With ``strict=True`` the query is linted first and a
         :class:`~repro.errors.LintError` carrying every error-severity
         diagnostic is raised before any evaluation happens.
+
+        With ``verify=True`` every normalization-rule fire and optimizer
+        rewrite is checked against the soundness invariants of
+        :mod:`repro.analysis`, raising
+        :class:`~repro.errors.VerificationError` on the first unsound
+        step. ``None`` (the default) defers to the ``REPRO_VERIFY``
+        environment flag; ``False`` forces verification off.
         """
         return self.run_detailed(
-            oql, engine=engine, typecheck=typecheck, strict=strict
+            oql, engine=engine, typecheck=typecheck, strict=strict, verify=verify
         ).value
 
     def run_detailed(
@@ -263,6 +272,7 @@ class Database:
         typecheck: bool = False,
         strict: bool = False,
         metrics: bool = False,
+        verify: Optional[bool] = None,
     ) -> QueryResult:
         """Answer an OQL query, keeping every intermediate artifact.
 
@@ -270,10 +280,14 @@ class Database:
         result additionally carries the phase span tree and per-operator
         metrics; ``metrics=True`` forces operator metrics collection for
         this one call even while tracing is off (EXPLAIN ANALYZE does
-        this). With everything off, the pipeline is exactly the seed's.
+        this). ``verify`` is :meth:`run`'s rewrite-verification switch
+        (it covers the whole pipeline, including the re-normalization
+        inside plan building). With everything off, the pipeline is
+        exactly the seed's.
         """
         with self.tracer.span("query", oql_sha256=oql_fingerprint(oql)) as qspan:
-            result = self._run_pipeline(oql, engine, typecheck, strict, metrics)
+            with verification(verify):
+                result = self._run_pipeline(oql, engine, typecheck, strict, metrics)
         if qspan is not None:
             result.span = qspan
             if self.query_log is not None:
@@ -382,6 +396,10 @@ class Database:
         try:
             with self.tracer.span("plan"):
                 plan = build_group_by_plan(node, Translator(self.schema))
+            if resolve_verify(None):
+                from repro.analysis.plancheck import verify_plan
+
+                verify_plan(plan, phase="group-by-plan")
             executor = Executor(
                 evaluator, self.catalog.index_mappings(), metrics=plan_metrics
             )

@@ -125,6 +125,39 @@ class NormalizationError(ReproError):
     """The rewrite engine detected an internal inconsistency."""
 
 
+class VerificationError(ReproError):
+    """A rewrite or plan transformation violated a soundness invariant.
+
+    Raised by :mod:`repro.analysis` when verification is enabled
+    (``Database.run(verify=True)`` or ``REPRO_VERIFY=1``). Carries the
+    offending rule name, the pretty-printed before/after terms (or
+    plans), the list of violated invariants, and the source span of the
+    rewritten term when one is attached.
+    """
+
+    def __init__(
+        self,
+        rule: str,
+        before,
+        after=None,
+        violations: Sequence = (),
+        span: "Optional[Span]" = None,
+    ) -> None:
+        self.rule = rule
+        self.before = before
+        self.after = after
+        self.violations = list(violations)
+        self.span = span
+        summary = "; ".join(str(v) for v in self.violations) or "invariant violated"
+        lines = [f"unsound rewrite by {rule}: {summary}"]
+        lines.append(f"  before: {before}")
+        if after is not None:
+            lines.append(f"  after:  {after}")
+        if span is not None:
+            lines.append(f"  at {span}")
+        super().__init__("\n".join(lines))
+
+
 class PlanError(ReproError):
     """Algebra plan construction or execution failed."""
 

@@ -8,7 +8,10 @@ Codes are grouped by hundreds:
 - ``QL1xx`` — semantics *warnings* (the query is legal but probably
   does not mean what was written);
 - ``QL2xx`` — performance warnings (the query is legal but will be
-  evaluated worse than an equivalent phrasing).
+  evaluated worse than an equivalent phrasing);
+- ``QL3xx`` — dataflow findings (powered by :mod:`repro.analysis`):
+  redundant or degenerate data flow between generators, and
+  opportunities the optimizer could exploit with a physical hint.
 
 ``docs/LINT.md`` catalogues every code with examples; a test asserts
 the registry and the document stay in sync.
@@ -63,6 +66,21 @@ CODES: dict[str, tuple[str, str]] = {
         "info",
         "pipelining blocked: the Table 3 rules cannot fully flatten this "
         "query, leaving a nested loop the executor cannot pipeline",
+    ),
+    "QL301": (
+        "warning",
+        "duplicate generator: a generator ranges over the same source as an "
+        "earlier one with no predicate distinguishing the two variables",
+    ),
+    "QL302": (
+        "warning",
+        "cross product without an equi-join: two independent generators are "
+        "related only by non-equality predicates, so the join cannot be hashed",
+    ),
+    "QL303": (
+        "info",
+        "index-probe candidate: an equality selection on an extent attribute "
+        "could be served by a hash index (Database.create_index)",
     ),
 }
 

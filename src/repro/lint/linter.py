@@ -12,7 +12,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.calculus.ast import Term
 from repro.errors import OQLSyntaxError, ReproError, TranslationError
-from repro.lint import performance, scope, semantics, wellformed
+from repro.lint import dataflow, performance, scope, semantics, wellformed
 from repro.lint.base import LintContext
 from repro.lint.diagnostics import Diagnostic, make, sort_diagnostics
 from repro.oql.parser import parse
@@ -22,7 +22,7 @@ from repro.types.schema import Schema
 from repro.types.types import Type
 
 #: The default pipeline, in documentation order.
-DEFAULT_PASSES = (wellformed.run, scope.run, semantics.run, performance.run)
+DEFAULT_PASSES = (wellformed.run, scope.run, semantics.run, performance.run, dataflow.run)
 
 
 class Linter:
@@ -89,16 +89,22 @@ class Linter:
 
 
 def _dedupe(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
-    """Drop repeated findings (same code, message and span).
+    """Drop repeated findings at the same source location.
 
-    Group-by translation legitimately duplicates qualifier lists into
-    the key-set and partition comprehensions; without this, each
-    finding there would appear twice.
+    Two passes reporting the same code at the same span is one finding,
+    even when they word it differently — the first (pipeline-order)
+    message wins. Group-by translation also legitimately duplicates
+    qualifier lists into the key-set and partition comprehensions;
+    without this, each finding there would appear twice. Span-less
+    diagnostics fall back to the message as the distinguishing key.
     """
     seen: set[tuple] = set()
     out: list[Diagnostic] = []
     for diag in diagnostics:
-        key = (diag.code, diag.message, diag.span)
+        if diag.span is not None:
+            key = (diag.code, diag.span)
+        else:
+            key = (diag.code, diag.message)
         if key not in seen:
             seen.add(key)
             out.append(diag)

@@ -26,7 +26,8 @@ from repro.calculus.ast import (
     Term,
     Var,
 )
-from repro.calculus.traversal import children, free_vars
+from repro.analysis.dataflow import use_count
+from repro.calculus.traversal import children
 from repro.errors import did_you_mean
 from repro.lint.base import LintContext, is_fresh_name
 from repro.lint.diagnostics import Diagnostic, make
@@ -143,10 +144,10 @@ def _used_later(term: Comprehension, index: int, var_name: str) -> bool:
 
     Skips the check for fresh or underscore-prefixed names. Built by
     forming the tail of the comprehension (same monoid, so sort keys
-    count as uses) and asking for its free variables — later binders of
-    the same name correctly shadow.
+    count as uses) and counting free occurrences with the dataflow
+    layer — later binders of the same name correctly shadow.
     """
     if is_fresh_name(var_name) or var_name.startswith("_"):
         return True
     tail = Comprehension(term.monoid, term.head, term.qualifiers[index + 1 :])
-    return var_name in free_vars(tail)
+    return use_count(tail, var_name) > 0

@@ -43,6 +43,7 @@ from repro.calculus.ast import (
     Update,
     Var,
 )
+from repro.analysis.verifier import RewriteVerifier, resolve_verify
 from repro.errors import NormalizationError
 from repro.normalize.rules import DEFAULT_RULES, Rule
 from repro.normalize.trace import NormalizationTrace
@@ -56,8 +57,13 @@ def normalize(
     term: Term,
     rules: Sequence[Rule] = DEFAULT_RULES,
     max_steps: int = DEFAULT_MAX_STEPS,
+    verify: Optional[bool] = None,
 ) -> Term:
     """Normalize ``term`` and return the canonical form.
+
+    ``verify=True`` checks every rule fire against the soundness
+    invariants (see :mod:`repro.analysis`); ``None`` defers to the
+    global switch (``REPRO_VERIFY`` / the ``verification`` context).
 
     >>> from repro.calculus import alpha_equal, comp, gen, var, const
     >>> inner = comp("set", var("x"), [gen("x", var("db"))])
@@ -65,7 +71,7 @@ def normalize(
     >>> alpha_equal(normalize(outer), inner)
     True
     """
-    result, _ = normalize_with_trace(term, rules, max_steps)
+    result, _ = normalize_with_trace(term, rules, max_steps, verify)
     return result
 
 
@@ -73,12 +79,19 @@ def normalize_with_trace(
     term: Term,
     rules: Sequence[Rule] = DEFAULT_RULES,
     max_steps: int = DEFAULT_MAX_STEPS,
+    verify: Optional[bool] = None,
 ) -> tuple[Term, NormalizationTrace]:
-    """Normalize and return ``(normal_form, trace)``."""
+    """Normalize and return ``(normal_form, trace)``.
+
+    With verification on, each rewrite step is checked before it is
+    accepted and :class:`~repro.errors.VerificationError` is raised on
+    the first unsound fire.
+    """
+    verifier = RewriteVerifier() if resolve_verify(verify) else None
     trace = NormalizationTrace(term)
     current = term
     for _ in range(max_steps):
-        rewritten = _rewrite_once(current, rules, trace)
+        rewritten = _rewrite_once(current, rules, trace, verifier)
         if rewritten is None:
             return current, trace
         current = rewritten
@@ -88,24 +101,32 @@ def normalize_with_trace(
 
 
 def _rewrite_once(
-    term: Term, rules: Sequence[Rule], trace: NormalizationTrace
+    term: Term,
+    rules: Sequence[Rule],
+    trace: NormalizationTrace,
+    verifier: Optional[RewriteVerifier] = None,
 ) -> Optional[Term]:
     """One outermost-leftmost rewrite, or None if in normal form."""
     for rule in rules:
         result = rule.apply(term)
         if result is not None:
+            if verifier is not None:
+                verifier.check_rewrite(rule, term, result)
             trace.record(rule.name, term, result)
             return result
-    return _rewrite_in_children(term, rules, trace)
+    return _rewrite_in_children(term, rules, trace, verifier)
 
 
 def _rewrite_in_children(
-    term: Term, rules: Sequence[Rule], trace: NormalizationTrace
+    term: Term,
+    rules: Sequence[Rule],
+    trace: NormalizationTrace,
+    verifier: Optional[RewriteVerifier] = None,
 ) -> Optional[Term]:
     """Try to rewrite exactly one child subterm; rebuild if one changed."""
 
     def visit(child: Term) -> Optional[Term]:
-        return _rewrite_once(child, rules, trace)
+        return _rewrite_once(child, rules, trace, verifier)
 
     return _rebuild_first(term, visit)
 

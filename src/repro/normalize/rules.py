@@ -54,7 +54,8 @@ from repro.calculus.ast import (
     TupleCons,
     UnOp,
 )
-from repro.calculus.traversal import fresh_var, has_effects, substitute, subterms
+from repro.analysis.dataflow import use_count
+from repro.calculus.traversal import fresh_var, has_effects, substitute
 from repro.calculus.ast import Var
 from repro.types.infer import MONOID_PROPS, monoid_props
 
@@ -62,14 +63,11 @@ from repro.types.infer import MONOID_PROPS, monoid_props
 def count_occurrences(term: Term, name: str) -> int:
     """Free occurrences of ``name`` in ``term`` (shadowing-aware).
 
-    Implemented by substituting a fresh marker variable and counting
-    marker occurrences — substitution already handles scoping.
+    Delegates to the :mod:`repro.analysis.dataflow` layer's scoped
+    walk, which counts occurrences without building a substituted copy
+    of the term.
     """
-    marker = fresh_var("count")
-    replaced = substitute(term, name, Var(marker))
-    return sum(
-        1 for sub in subterms(replaced) if isinstance(sub, Var) and sub.name == marker
-    )
+    return use_count(term, name)
 
 
 def _monoid_static_props(ref: MonoidRef) -> Optional[frozenset[str]]:
@@ -92,6 +90,28 @@ def _is_commutative(ref: MonoidRef) -> bool:
 def _is_idempotent(ref: MonoidRef) -> bool:
     props = _monoid_static_props(ref)
     return props is not None and "idempotent" in props
+
+
+def _splice_coherent(
+    quals: tuple[Qualifier, ...], outer_props: Optional[frozenset[str]]
+) -> bool:
+    """May these qualifiers be spliced into a comprehension with
+    ``outer_props``? Any generator whose source monoid is syntactically
+    known must satisfy the §3 restriction ``props(N) ⊆ props(M)`` in
+    its new home (unknown sources — extents, paths — are unconstrained
+    statically, matching the type checker)."""
+    if outer_props is None:
+        return False
+    for qual in quals:
+        if not isinstance(qual, Generator):
+            continue
+        source = qual.source
+        if not isinstance(source, (Empty, Singleton, Merge, Comprehension)):
+            continue
+        src_props = _monoid_static_props(source.monoid)
+        if src_props is not None and not src_props <= outer_props:
+            return False
+    return True
 
 
 def _rest_comprehension(comp: Comprehension, start: int) -> Comprehension:
@@ -506,7 +526,12 @@ class ExistentialFusion(Rule):
     Sound only when M is idempotent: each witness found by ``r``
     re-emits the outer head, and idempotence collapses the duplicates.
     This is the paper's flattening of nested ``exists`` subqueries into
-    joins. Inner binders are alpha-renamed before splicing.
+    joins. Inner binders are alpha-renamed before splicing, and the
+    spliced generators must stay coherent in their new home: inside
+    ``some`` (commutative *and* idempotent) any collection source is
+    well-formed, but M may be weaker (e.g. ``oset``), so a generator
+    whose source monoid is known must satisfy ``props(N) ⊆ props(M)``
+    after the move.
     """
 
     name = "N11-exists"
@@ -517,6 +542,7 @@ class ExistentialFusion(Rule):
             return None
         if not _is_idempotent(term.monoid):
             return None
+        outer_props = _monoid_static_props(term.monoid)
         for i, qual in enumerate(term.qualifiers):
             if not isinstance(qual, Filter):
                 continue
@@ -524,6 +550,8 @@ class ExistentialFusion(Rule):
             if not isinstance(pred, Comprehension) or pred.monoid.name != "some":
                 continue
             if has_effects(pred):
+                continue
+            if not _splice_coherent(pred.qualifiers, outer_props):
                 continue
             inner = _freshen(pred)
             spliced = (

@@ -1,0 +1,79 @@
+"""``python -m repro verify`` — exit codes, text and JSON output."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, lines
+
+
+class TestFiles:
+    def test_travel_examples_all_verify(self):
+        code, lines = run([str(EXAMPLES / "travel_queries.oql")])
+        assert code == 0
+        assert lines and all(line.startswith("ok ") for line in lines)
+        assert any("rewrite(s) verified" in line for line in lines)
+
+    def test_lines_carry_file_and_line_numbers(self):
+        target = str(EXAMPLES / "travel_queries.oql")
+        code, lines = run([target])
+        assert code == 0
+        assert all(f"{target}:" in line for line in lines)
+
+    def test_unreadable_target_fails(self, tmp_path):
+        # a directory exists but cannot be read as a query file
+        code, lines = run([str(tmp_path)])
+        assert code == 1
+        assert any("cannot read" in line for line in lines)
+
+
+class TestLiteralQueries:
+    def test_good_query_exits_zero(self):
+        code, lines = run(["select distinct c.name from c in Cities"])
+        assert code == 0
+        assert len(lines) == 1 and lines[0].startswith("ok <query>")
+
+    def test_company_schema_flag(self):
+        code, _ = run(
+            ["--schema", "company", "select distinct e.name from e in Employees"]
+        )
+        assert code == 0
+
+    def test_bad_query_exits_one(self):
+        code, lines = run(["select distinct c.name from c in Citees"])
+        assert code == 1
+        assert lines[0].startswith("FAIL <query>")
+
+    def test_syntax_error_exits_one(self):
+        code, lines = run(["select from where"])
+        assert code == 1
+        assert lines[0].startswith("FAIL")
+
+
+class TestJson:
+    def test_json_report_shape(self):
+        code, lines = run(["--json", "select distinct c.name from c in Cities"])
+        assert code == 0
+        (payload,) = lines
+        docs = json.loads(payload)
+        assert len(docs) == 1
+        (doc,) = docs[0]["queries"]
+        assert doc["ok"] is True
+        assert doc["engine"]
+        assert isinstance(doc["rewrites"], int)
+        assert isinstance(doc["rules"], dict)
+
+    def test_json_failure_document(self):
+        code, lines = run(["--json", "select distinct c.name from c in Citees"])
+        assert code == 1
+        (doc,) = json.loads(lines[0])[0]["queries"]
+        assert doc["ok"] is False
+        assert doc["error"]
+        assert doc["detail"]

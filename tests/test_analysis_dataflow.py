@@ -1,0 +1,179 @@
+"""The binding-aware dataflow layer: scoped walks, counts, def-use,
+alpha renaming."""
+
+from repro.analysis.dataflow import (
+    alpha_rename,
+    def_use,
+    free_var_counts,
+    scoped_subterms,
+    use_count,
+)
+from repro.calculus.ast import Lambda, Var
+from repro.calculus.builders import (
+    add,
+    bind,
+    comp,
+    const,
+    filt,
+    gen,
+    gt,
+    hom,
+    lam,
+    let,
+    proj,
+    unit,
+    var,
+)
+from repro.calculus.traversal import alpha_equal, free_vars
+
+
+def bound_at(term, target_name):
+    """The ``bound`` sets at every occurrence of Var(target_name)."""
+    return [
+        bound
+        for sub, bound in scoped_subterms(term)
+        if isinstance(sub, Var) and sub.name == target_name
+    ]
+
+
+class TestScopedSubterms:
+    def test_lambda_binds_param(self):
+        term = lam("x", add(var("x"), var("y")))
+        assert bound_at(term, "x") == [frozenset({"x"})]
+        assert bound_at(term, "y") == [frozenset({"x"})]
+
+    def test_generator_scopes_left_to_right(self):
+        # x is bound for the filter and head, but not for its own source
+        term = comp(
+            "set",
+            var("x"),
+            [gen("x", var("db")), filt(gt(proj(var("x"), "a"), 0))],
+        )
+        occurrences = bound_at(term, "x")
+        assert occurrences == [frozenset({"x"}), frozenset({"x"})]
+        assert bound_at(term, "db") == [frozenset()]
+
+    def test_shadowing_nested_lambda(self):
+        term = lam("x", lam("x", var("x")))
+        (inner,) = bound_at(term, "x")
+        assert "x" in inner
+
+    def test_let_value_outside_binding(self):
+        term = let("x", var("x"), var("x"))
+        assert bound_at(term, "x") == [frozenset(), frozenset({"x"})]
+
+    def test_monoid_key_terms_are_visited(self):
+        from repro.calculus.ast import MonoidRef
+
+        ref = MonoidRef("list", key=lam("e", proj(var("e"), "k")))
+        term = comp(ref, var("v"), [gen("v", var("db"))])
+        labels = [str(sub) for sub, _ in scoped_subterms(term)]
+        assert "e.k" in labels
+
+
+class TestUseCount:
+    def test_counts_free_occurrences(self):
+        assert use_count(add(var("x"), var("x")), "x") == 2
+
+    def test_shadowed_occurrences_do_not_count(self):
+        term = add(var("x"), lam("x", var("x")))
+        assert use_count(term, "x") == 1
+
+    def test_comprehension_tail_scoping(self):
+        term = comp("set", var("x"), [gen("x", var("x"))])
+        # the source occurrence is free, the head one is bound
+        assert use_count(term, "x") == 1
+
+    def test_absent_name(self):
+        assert use_count(const(1), "x") == 0
+
+
+class TestFreeVarCounts:
+    def test_matches_free_vars(self):
+        term = add(var("a"), add(var("b"), var("a")))
+        counts = free_var_counts(term)
+        assert counts == {"a": 2, "b": 1}
+        assert set(counts) == free_vars(term)
+
+    def test_bound_names_excluded(self):
+        term = lam("a", add(var("a"), var("b")))
+        assert free_var_counts(term) == {"b": 1}
+
+
+class TestDefUse:
+    def test_generator_binding_and_uses(self):
+        term = comp(
+            "set",
+            proj(var("c"), "name"),
+            [gen("c", var("Cities")), filt(gt(proj(var("c"), "pop"), 0))],
+        )
+        du = def_use(term)
+        (info,) = du.for_name("c")
+        assert info.kind == "generator"
+        assert info.uses == 2
+        assert du.free == {"Cities": 1}
+        assert du.unused() == []
+
+    def test_unused_binding_reported(self):
+        term = comp(
+            "set",
+            proj(var("c"), "name"),
+            [gen("c", var("Cities")), gen("h", var("Hotels"))],
+        )
+        du = def_use(term)
+        assert [b.name for b in du.unused()] == ["h"]
+
+    def test_uses_resolve_to_innermost_binder(self):
+        term = lam("x", add(var("x"), lam("x", var("x"))))
+        du = def_use(term)
+        outer, inner = du.for_name("x")
+        assert outer.uses == 1
+        assert inner.uses == 1
+
+    def test_bind_let_hom_kinds(self):
+        term = let(
+            "a",
+            const(1),
+            comp(
+                "set",
+                var("b"),
+                [gen("x", var("db")), bind("b", proj(var("x"), "f"))],
+            ),
+        )
+        kinds = {b.name: b.kind for b in def_use(term).bindings}
+        assert kinds == {"a": "let", "x": "generator", "b": "bind"}
+        h = hom("set", "sum", "v", var("v"), var("db"))
+        assert [b.kind for b in def_use(h).bindings] == ["hom"]
+
+
+class TestAlphaRename:
+    def test_result_is_alpha_equal(self):
+        term = comp(
+            "set",
+            add(var("x"), var("free")),
+            [gen("x", var("db")), filt(gt(var("x"), 0))],
+        )
+        renamed = alpha_rename(term)
+        assert renamed is not term
+        assert alpha_equal(term, renamed)
+
+    def test_free_vars_preserved(self):
+        term = lam("x", add(var("x"), var("y")))
+        assert free_vars(alpha_rename(term)) == {"y"}
+
+    def test_binders_disjoint_from_original(self):
+        term = lam("x", let("y", var("x"), var("y")))
+        renamed = alpha_rename(term)
+        assert isinstance(renamed, Lambda)
+        assert renamed.param != "x"
+        assert "~" in renamed.param  # freshened, so never a user spelling
+
+    def test_shadowing_survives(self):
+        term = lam("x", lam("x", var("x")))
+        renamed = alpha_rename(term)
+        assert alpha_equal(term, renamed)
+        assert renamed.param != renamed.body.param
+
+    def test_singleton_generator_comprehension(self):
+        term = comp("set", var("v"), [gen("v", unit("set", const(3)))])
+        assert alpha_equal(term, alpha_rename(term))

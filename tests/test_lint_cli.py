@@ -126,6 +126,45 @@ class TestMain:
         assert module_main(["lint", str(path)]) == 0
 
 
+class TestExitStatusContract:
+    """docs/LINT.md 'Exit status': 0 = no errors (warnings/infos print
+    but never fail), 1 = error diagnostic or unreadable file."""
+
+    def test_info_only_exits_zero(self, tmp_path):
+        path = tmp_path / "info.oql"
+        # QL303 (index-probe candidate) is info severity
+        path.write_text(
+            "select distinct c.name from c in Cities where c.state = 'OR'"
+        )
+        code, out = run_cli([str(path)])
+        assert code == 0
+        assert "info[QL303]" in out
+
+    def test_warnings_and_infos_together_exit_zero(self, tmp_path):
+        path = tmp_path / "mixed.oql"
+        path.write_text(
+            "select distinct c.name from c in Cities, h in c.hotels "
+            "where c.state = 'OR'"
+        )
+        code, out = run_cli([str(path)])
+        assert code == 0
+        assert "warning[QL005]" in out and "info[QL303]" in out
+
+    def test_json_info_only_exits_zero(self, tmp_path):
+        import json
+
+        path = tmp_path / "info.oql"
+        path.write_text(
+            "select distinct c.name from c in Cities where c.state = 'OR'"
+        )
+        lines = []
+        code = main(["--json", str(path)], out=lines.append)
+        assert code == 0
+        report = json.loads("\n".join(lines))[0]
+        assert report["errors"] == 0
+        assert any(d["severity"] == "info" for d in report["diagnostics"])
+
+
 class TestJson:
     def run_json(self, args):
         import json
