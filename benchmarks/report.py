@@ -138,9 +138,13 @@ def report_p1(num_cities: int) -> None:
         "nested": "select distinct h.name from h in "
                   "(select distinct x from c in Cities, x in c.hotels)",
     }
+    from repro.obs.tracer import PIPELINE_PHASES
+
     db = demo_travel_database(num_cities=num_cities)
     db.profile(True)
-    phase_order = ("parse", "translate", "normalize", "plan", "optimize", "execute")
+    # the tracer's canonical phase order, minus the phases this table
+    # doesn't exercise (lint is strict-mode-only, typecheck is opt-in)
+    phase_order = tuple(p for p in PIPELINE_PHASES if p not in ("lint", "typecheck"))
     print("  " + "query".ljust(8) + "".join(p.rjust(11) for p in phase_order))
     for name, oql in queries.items():
         result = db.run_detailed(oql)
@@ -148,6 +152,38 @@ def report_p1(num_cities: int) -> None:
         cells = "".join(f"{phases.get(p, 0.0):11.3f}" for p in phase_order)
         print(f"  {name.ljust(8)}{cells}")
     db.profile(False)
+
+
+def report_c1() -> None:
+    heading("C1 — query cache: cold vs warm pipeline (ms)")
+    from benchmarks.bench_cache import NUM_CITIES, QUERIES, _cached_db, _run_all
+
+    db = _cached_db()
+
+    def cold():
+        db.cache.clear()
+        _run_all(db)
+
+    cold_t = median_time(cold)
+    compile_db = _cached_db(results=False)
+    _run_all(compile_db)
+    warm_compile_t = median_time(lambda: _run_all(compile_db))
+    _run_all(db)
+    warm_result_t = median_time(lambda: _run_all(db))
+    print(
+        f"  {len(QUERIES)} queries, n={NUM_CITIES} cities:\n"
+        f"    cold (full pipeline)     = {cold_t * 1e3:8.2f}\n"
+        f"    warm (compile cache)     = {warm_compile_t * 1e3:8.2f}"
+        f"   {cold_t / warm_compile_t:6.1f}x\n"
+        f"    warm (result cache)      = {warm_result_t * 1e3:8.2f}"
+        f"   {cold_t / warm_result_t:6.1f}x"
+    )
+    stats = db.cache.stats_dict()
+    print(
+        f"    counters: compile {stats['compile_hits']} hits / "
+        f"{stats['compile_misses']} misses, result {stats['result_hits']} hits / "
+        f"{stats['result_misses']} misses, {stats['evictions']} evictions"
+    )
 
 
 def report_u1(sizes) -> None:
@@ -177,6 +213,7 @@ def main(argv=None) -> int:
     report_f1(f1_sizes)
     report_f2(f2_sizes)
     report_g1(g1_sizes)
+    report_c1()
     report_p1(p1_cities)
     report_v1(v1_sizes)
     report_u1(u1_sizes)

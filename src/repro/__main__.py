@@ -5,8 +5,9 @@
 file.oql [...]`` renders query plans with estimated — and, analyzed,
 actual — cardinalities (:mod:`repro.obs.cli`); ``python -m repro
 verify <file.oql | query> [...]`` executes queries with the
-rewrite-soundness verifier on (:mod:`repro.analysis.cli`); anything
-else starts the REPL.
+rewrite-soundness verifier on (:mod:`repro.analysis.cli`);
+``python -m repro cache stats|clear`` reports query-cache counters
+(:mod:`repro.cache.cli`); anything else starts the REPL.
 """
 
 import sys
@@ -26,6 +27,10 @@ def main(argv=None):
         from repro.analysis.cli import main as verify_main
 
         return verify_main(args[1:])
+    if args and args[0] == "cache":
+        from repro.cache.cli import main as cache_main
+
+        return cache_main(args[1:])
     from repro.repl import main as repl_main
 
     return repl_main(args)

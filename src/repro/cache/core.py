@@ -1,0 +1,321 @@
+"""The query cache: compiled plans, result entries, stats and eviction.
+
+Three cooperating layers (docs/CACHE.md has the full story):
+
+1. **Compilation cache** — maps query text (and, behind it, the
+   canonical alpha-form from :mod:`repro.cache.keys`) to a
+   :class:`CompiledQuery`: the translated term, normal form and
+   optimized physical plan, plus everything needed to execute and
+   invalidate it. A hit skips parse → translate → typecheck →
+   normalize → plan → optimize entirely.
+2. **Prepared statements** (:mod:`repro.cache.prepared`) — a pinned
+   :class:`CompiledQuery` with ``$name`` parameters bound per run.
+3. **Result cache** — maps (canonical key, parameter bindings) to a
+   finished value, guarded by the version vector of everything the plan
+   reads; any mutation of a read extent or of the object heap makes the
+   stored vector stale and the entry is dropped on the next lookup.
+
+Everything is off by default: a :class:`~repro.db.database.Database`
+only consults a cache when constructed with ``cache=...`` or when the
+``REPRO_CACHE`` environment flag is set (same convention as
+``REPRO_VERIFY``). Both stores are LRU with optional max-entry and TTL
+bounds; every hit/miss/eviction/invalidation increments a counter on
+:class:`CacheStats`, surfaced through ``repro.obs`` and the
+``python -m repro cache`` CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.calculus.ast import Term
+from repro.errors import DatabaseError
+from repro.normalize.trace import NormalizationTrace
+
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def cache_env_enabled() -> bool:
+    """Is the ``REPRO_CACHE`` environment flag set (and not falsey)?"""
+    return os.environ.get("REPRO_CACHE", "").strip().lower() not in _FALSEY
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`QueryCache` (monotonic until reset)."""
+
+    compile_hits: int = 0
+    compile_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def reset(self) -> None:
+        for name in self.as_dict():
+            setattr(self, name, 0)
+
+
+@dataclass
+class CacheConfig:
+    """Tuning knobs for one :class:`QueryCache`.
+
+    ``ttl`` is in seconds and applies to both stores; ``None`` disables
+    age-based expiry. ``results=False`` keeps only the compilation
+    cache (plans are always safe to reuse; results need the version
+    guard). ``clock`` exists so tests can drive TTL deterministically.
+    """
+
+    max_entries: int = 128
+    result_max_entries: int = 256
+    ttl: Optional[float] = None
+    results: bool = True
+    clock: Callable[[], float] = time.monotonic
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+#: Sentinel distinguishing "no entry" from a cached ``None`` value.
+MISSING = _Missing()
+
+
+class LRUCache:
+    """An ordered map with least-recently-used + TTL eviction.
+
+    ``on_evict`` fires once per entry displaced by capacity or expired
+    by age — *not* for explicit :meth:`remove`/:meth:`clear` calls,
+    which are the caller's own bookkeeping.
+    """
+
+    def __init__(
+        self,
+        max_entries: int,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_evict: Optional[Callable[[Any, Any], None]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise DatabaseError("cache max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._on_evict = on_evict
+        self._data: "OrderedDict[Any, tuple[Any, float]]" = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        """The stored value, or :data:`MISSING`; refreshes recency."""
+        record = self._data.get(key)
+        if record is None:
+            return MISSING
+        value, stamp = record
+        if self.ttl is not None and self._clock() - stamp > self.ttl:
+            del self._data[key]
+            if self._on_evict is not None:
+                self._on_evict(key, value)
+            return MISSING
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = (value, self._clock())
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            evicted_key, (evicted_value, _) = self._data.popitem(last=False)
+            if self._on_evict is not None:
+                self._on_evict(evicted_key, evicted_value)
+
+    def remove(self, key: Any) -> None:
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def keys(self) -> list[Any]:
+        """Keys oldest-first (the eviction order)."""
+        return list(self._data)
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the pipeline produced for one query, ready to re-run.
+
+    ``kind`` names the execution strategy the entry compiled to:
+    ``"groupby"`` (single-pass Nest plan), ``"algebra"`` (optimized
+    physical plan) or ``"interpret"`` (normalized term on the reference
+    evaluator). ``phases`` lists the pipeline phases a hit skips, in
+    :data:`repro.obs.tracer.PIPELINE_PHASES` order. ``extents`` and
+    ``result_cacheable`` come from :mod:`repro.cache.invalidation`;
+    ``version`` is the compile-time catalog/epoch vector the entry is
+    valid for.
+    """
+
+    oql: str
+    engine: str
+    typecheck: bool
+    key: Any  # canonical cache key: (canonical term, engine, typecheck)
+    calculus: Term
+    normalized: Term
+    trace: NormalizationTrace
+    kind: str  # 'groupby' | 'algebra' | 'interpret'
+    plan: Optional[Any]
+    phases: tuple[str, ...]
+    extents: frozenset[str]
+    result_cacheable: bool
+    params: tuple[str, ...]
+    version: Any
+    hits: int = 0
+    uncacheable_reason: Optional[str] = None
+
+
+class QueryCache:
+    """The two-level cache one database consults.
+
+    Compiled entries are stored under their *canonical* key (the
+    alpha-renamed term, so ``for x in Cities`` and ``for y in Cities``
+    share one entry) with a text-key alias layer in front, letting the
+    exact-repeat fast path skip even parsing. Result entries live in a
+    separate LRU keyed by (canonical key, parameter bindings) and carry
+    the version vector they were computed under.
+    """
+
+    def __init__(self, config: Optional[CacheConfig] = None) -> None:
+        self.config = config or CacheConfig()
+        self.stats = CacheStats()
+        clock = self.config.clock
+        self._compiled = LRUCache(
+            self.config.max_entries, self.config.ttl, clock, self._count_eviction
+        )
+        # Text aliases are bookkeeping, not cached work: their eviction
+        # is silent and their capacity is tied to the entry store's.
+        self._aliases = LRUCache(
+            max(self.config.max_entries * 4, 4), self.config.ttl, clock
+        )
+        self._results = LRUCache(
+            self.config.result_max_entries, self.config.ttl, clock, self._count_eviction
+        )
+
+    def _count_eviction(self, _key: Any, _value: Any) -> None:
+        self.stats.evictions += 1
+
+    # -- compilation cache ------------------------------------------------------
+
+    def compiled_by_text(self, text_key: Any, version: Any) -> Optional[CompiledQuery]:
+        """The entry for an exact query text, or None (counts a hit)."""
+        canon_key = self._aliases.get(text_key)
+        if canon_key is MISSING:
+            return None
+        return self.compiled_by_canon(canon_key, version)
+
+    def compiled_by_canon(self, canon_key: Any, version: Any) -> Optional[CompiledQuery]:
+        """The entry under a canonical key, version-checked (counts a hit)."""
+        entry = self._compiled.get(canon_key)
+        if entry is MISSING:
+            return None
+        if entry.version != version:
+            self.stats.invalidations += 1
+            self._compiled.remove(canon_key)
+            return None
+        self.stats.compile_hits += 1
+        entry.hits += 1
+        return entry
+
+    def alias(self, text_key: Any, canon_key: Any) -> None:
+        """Point a query text at an existing canonical entry."""
+        self._aliases.put(text_key, canon_key)
+
+    def remember(self, text_key: Any, canon_key: Any, entry: CompiledQuery) -> None:
+        """Store a freshly compiled entry (counts the miss that led here)."""
+        self.stats.compile_misses += 1
+        self._compiled.put(canon_key, entry)
+        self._aliases.put(text_key, canon_key)
+
+    # -- result cache ----------------------------------------------------------
+
+    def result_for(self, key: Any, versions: Any) -> tuple[bool, Any]:
+        """``(hit, value)`` for one result key under current ``versions``."""
+        record = self._results.get(key)
+        if record is MISSING:
+            self.stats.result_misses += 1
+            return False, None
+        value, stored_versions = record
+        if stored_versions != versions:
+            self.stats.invalidations += 1
+            self._results.remove(key)
+            self.stats.result_misses += 1
+            return False, None
+        self.stats.result_hits += 1
+        return True, value
+
+    def remember_result(self, key: Any, versions: Any, value: Any) -> None:
+        self._results.put(key, (value, versions))
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop every entry (and, optionally, zero the counters)."""
+        self._compiled.clear()
+        self._aliases.clear()
+        self._results.clear()
+        if reset_stats:
+            self.stats.reset()
+
+    def sizes(self) -> dict[str, int]:
+        return {
+            "compiled_entries": len(self._compiled),
+            "result_entries": len(self._results),
+        }
+
+    def stats_dict(self) -> dict[str, int]:
+        """Counters plus current entry counts, JSON-ready."""
+        out = self.stats.as_dict()
+        out.update(self.sizes())
+        return out
+
+
+def resolve_cache(cache: Any) -> Optional[QueryCache]:
+    """Normalize ``Database(cache=...)`` to a :class:`QueryCache` or None.
+
+    ``None`` defers to the ``REPRO_CACHE`` environment flag (unset or
+    falsey → caching off — the byte-for-byte-unchanged default).
+    ``True``/``False`` force it; a :class:`CacheConfig` configures a
+    fresh cache; an existing :class:`QueryCache` is shared as-is.
+    """
+    if cache is None:
+        return QueryCache() if cache_env_enabled() else None
+    if cache is False:
+        return None
+    if cache is True:
+        return QueryCache()
+    if isinstance(cache, CacheConfig):
+        return QueryCache(cache)
+    if isinstance(cache, QueryCache):
+        return cache
+    raise DatabaseError(
+        "cache must be None, a bool, a CacheConfig or a QueryCache, "
+        f"got {type(cache).__name__}"
+    )

@@ -11,11 +11,31 @@ from repro.objects.store import ObjectStore
 
 
 class Catalog:
-    """Extent namespace plus index bookkeeping for one database."""
+    """Extent namespace plus index bookkeeping for one database.
+
+    The catalog also carries the version counters the query cache keys
+    on: a per-extent counter (bumped when that extent is re-registered)
+    and one structure :attr:`version` covering everything a compiled
+    plan depends on — extent membership/sizes and the set of available
+    indexes. Both are monotonic; comparisons are for equality only.
+    """
 
     def __init__(self) -> None:
         self._extents: dict[str, Any] = {}
         self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self._versions: dict[str, int] = {}
+        self._version = 0
+
+    # -- versions --------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic structure counter (extents loaded, indexes built)."""
+        return self._version
+
+    def extent_version(self, name: str) -> int:
+        """Monotonic reload counter for one extent (0 if never loaded)."""
+        return self._versions.get(name, 0)
 
     # -- extents ---------------------------------------------------------------
 
@@ -24,6 +44,8 @@ class Catalog:
             raise DatabaseError(f"extent {name!r} already loaded")
         runtime_monoid_of(collection)  # raises if not a collection
         self._extents[name] = collection
+        self._versions[name] = self._versions.get(name, 0) + 1
+        self._version += 1
         # Rebuild any indexes declared on this extent.
         for (extent, attribute), index in list(self._indexes.items()):
             if extent == name:
@@ -69,6 +91,7 @@ class Catalog:
         )
         index._store = store  # kept for rebuilds on reload
         self._indexes[(extent, attribute)] = index
+        self._version += 1
         return index
 
     def index_keys(self) -> set[tuple[str, str]]:

@@ -26,6 +26,7 @@ from repro.algebra.optimizer import Optimizer, explain as explain_plan
 from repro.algebra.physical import ExecutionStats, Executor
 from repro.algebra.translate import build_plan
 from repro.analysis.verifier import resolve_verify, verification
+from repro.cache.core import CompiledQuery, QueryCache, resolve_cache
 from repro.calculus.ast import Comprehension, Term
 from repro.db.catalog import Catalog
 from repro.db.sample_data import (
@@ -67,6 +68,9 @@ class QueryResult:
     span: Optional[TraceSpan] = None
     #: per-operator metrics (None unless tracing/metrics were on)
     metrics: Optional[PlanMetrics] = None
+    #: cache outcome for this query, e.g. {"compile": "hit",
+    #: "result": "miss"} (None unless the database had a cache)
+    cache: Optional[dict[str, Any]] = None
 
     def pipeline_report(self) -> str:
         """A printable record of every pipeline stage."""
@@ -77,6 +81,11 @@ class QueryResult:
             f"rules:      {', '.join(self.trace.rules_fired()) or '(already canonical)'}",
             f"engine:     {self.engine}",
         ]
+        if self.cache is not None:
+            lines.append(
+                "cache:      "
+                + "  ".join(f"{k}={v}" for k, v in sorted(self.cache.items()))
+            )
         if self.span is not None:
             phases = self.span.phase_times_ms()
             lines.append(
@@ -102,7 +111,7 @@ class Database:
     True
     """
 
-    def __init__(self, schema: Optional[Schema] = None) -> None:
+    def __init__(self, schema: Optional[Schema] = None, cache: Any = None) -> None:
         self.schema = schema if schema is not None else Schema()
         self.catalog = Catalog()
         self.store = ObjectStore()
@@ -115,6 +124,14 @@ class Database:
         self.tracer = Tracer(enabled=False)
         #: structured query log, enabled via :meth:`profile`
         self.query_log: Optional[QueryLog] = None
+        #: query cache (compiled plans + results); None means off — the
+        #: default unless ``cache=`` or ``REPRO_CACHE`` says otherwise,
+        #: keeping the uncached pipeline byte-for-byte the seed's
+        self.cache: Optional[QueryCache] = resolve_cache(cache)
+        # Bumped whenever query *meaning* changes outside the catalog
+        # (views defined, functions registered, object extents added);
+        # part of the compile-version vector cache entries pin.
+        self._cache_epoch = 0
 
     # -- loading ----------------------------------------------------------------
 
@@ -162,6 +179,7 @@ class Database:
             record = _to_record(row)
             self.registry.create(class_name, dict(record))
         self._object_extents.add(extent)
+        self._cache_epoch += 1
 
     def create_index(self, extent: str, attribute: str) -> None:
         """Build a hash index usable by the optimizer."""
@@ -170,6 +188,7 @@ class Database:
     def register_function(self, name: str, fn: Any) -> None:
         """Expose a Python function to OQL queries."""
         self.functions[name] = fn
+        self._cache_epoch += 1
 
     # -- core pipeline -----------------------------------------------------------------
 
@@ -198,6 +217,7 @@ class Database:
             raise DatabaseError(f"cannot define view {name!r}: extent exists")
         term = self.translate(oql)
         self._views[name] = term
+        self._cache_epoch += 1
         return term
 
     def translate(self, oql: str) -> Term:
@@ -302,6 +322,8 @@ class Database:
         strict: bool,
         metrics: bool,
     ) -> QueryResult:
+        if self.cache is not None:
+            return self._run_pipeline_cached(oql, engine, typecheck, strict, metrics)
         tracer = self.tracer
         if strict:
             with tracer.span("lint"):
@@ -409,6 +431,391 @@ class Database:
         except PlanError:
             return None
 
+    # -- cached pipeline --------------------------------------------------------
+    #
+    # With a cache attached, _run_pipeline branches here instead of the
+    # seed path above. The contract: identical values for every query,
+    # with the front half (parse..optimize) memoized per canonical
+    # alpha-form and, where sound, whole results memoized under a
+    # version vector. docs/CACHE.md specifies keying and invalidation.
+
+    def enable_cache(self, cache: Any = True) -> QueryCache:
+        """Attach a query cache (``True``, a CacheConfig or a QueryCache)."""
+        resolved = resolve_cache(cache)
+        if resolved is None:
+            resolved = resolve_cache(True)
+        self.cache = resolved
+        return resolved
+
+    def disable_cache(self) -> None:
+        """Detach the cache; the pipeline reverts to the uncached path."""
+        self.cache = None
+
+    def prepare(
+        self,
+        oql: str,
+        engine: Literal["auto", "algebra", "interpret"] = "auto",
+        typecheck: bool = False,
+        param_types: Optional[dict[str, Any]] = None,
+    ):
+        """Compile once, execute many: a prepared statement.
+
+        ``oql`` may name parameters as ``$name``; the returned
+        :class:`~repro.cache.prepared.Prepared` binds them per call::
+
+            q = db.prepare("select distinct c.name from c in Cities "
+                           "where c.state = $state")
+            q.run(state="OR")
+
+        Works with or without a cache attached; with one, the compiled
+        entry is shared with equivalent ad-hoc queries.
+        """
+        from repro.cache.prepared import Prepared
+
+        return Prepared(
+            self, oql, engine=engine, typecheck=typecheck, param_types=param_types
+        )
+
+    def _compile_version(self) -> tuple:
+        """What compiled entries are valid against: catalog + epoch."""
+        return (self.catalog.version, self._cache_epoch)
+
+    def _result_versions(self, entry: CompiledQuery) -> tuple:
+        """The version vector guarding one result-cache entry."""
+        return (
+            entry.version,
+            tuple(
+                (name, self.catalog.extent_version(name))
+                for name in sorted(entry.extents)
+            ),
+            self.store.version,
+        )
+
+    def _known_extent_names(self) -> set[str]:
+        return set(self.catalog.extents()) | set(self._object_extents)
+
+    def _run_pipeline_cached(
+        self,
+        oql: str,
+        engine: Literal["auto", "algebra", "interpret"],
+        typecheck: bool,
+        strict: bool,
+        metrics: bool,
+    ) -> QueryResult:
+        tracer = self.tracer
+        if strict:
+            # Lint is a per-call request, honored on hits and misses
+            # alike — a cached plan must not smuggle past strict mode.
+            with tracer.span("lint"):
+                errors = [d for d in self.lint(oql) if d.is_error]
+            if errors:
+                from repro.errors import LintError
+
+                raise LintError(errors)
+        version = self._compile_version()
+        text_key = (oql, engine, typecheck)
+        info: dict[str, Any] = {}
+        with tracer.span("cache"):
+            entry = self.cache.compiled_by_text(text_key, version)
+        if entry is not None:
+            info["compile"] = "hit"
+            tracer.mark_cached(*entry.phases)
+        else:
+            entry = self._compile_entry(oql, engine, typecheck, text_key, version, info)
+        return self._finish_cached(oql, entry, engine, {}, metrics, info)
+
+    def _compile_entry(
+        self,
+        oql: str,
+        engine: str,
+        typecheck: bool,
+        text_key: Any,
+        version: tuple,
+        info: dict[str, Any],
+        param_types: Optional[dict[str, Any]] = None,
+        skip_group_by: bool = False,
+    ) -> CompiledQuery:
+        """Run the pipeline front half, consulting/updating the cache.
+
+        Parse and translate always run (the canonical key needs the
+        term); an alpha-equivalent entry then short-circuits the rest.
+        """
+        from repro.cache.invalidation import analyze_dependencies
+        from repro.cache.keys import canonical_term, param_names
+        from repro.obs.tracer import COMPILE_PHASES
+
+        cache = self.cache
+        tracer = self.tracer
+        with tracer.span("parse"):
+            node = parse(oql)
+        with tracer.span("translate"):
+            from repro.calculus.traversal import substitute_many
+
+            calculus = Translator(self.schema).translate(node)
+            if self._views:
+                calculus = substitute_many(calculus, dict(self._views))
+        canon_key = (canonical_term(calculus), engine, typecheck)
+        if cache is not None and not skip_group_by:
+            entry = cache.compiled_by_canon(canon_key, version)
+            if entry is not None:
+                # An alpha-variant of a cached query: alias the text so
+                # the next repeat skips parse/translate too.
+                cache.alias(text_key, canon_key)
+                info["compile"] = "hit"
+                tracer.mark_cached(
+                    *[p for p in entry.phases if p not in ("parse", "translate")]
+                )
+                return entry
+        info["compile"] = "miss"
+        params = param_names(calculus)
+        if typecheck:
+            with tracer.span("typecheck"):
+                self._typecheck_with_params(calculus, params, param_types)
+        with tracer.span("normalize"):
+            normalized, trace = normalize_with_trace(calculus)
+        ran = {"parse", "translate", "normalize"}
+        if typecheck:
+            ran.add("typecheck")
+        kind = "interpret"
+        plan: Optional[Reduce] = None
+        if (
+            not skip_group_by
+            and engine in ("auto", "algebra")
+            and not self._views
+        ):
+            plan = self._build_group_by_plan(node)
+            if plan is not None:
+                kind = "groupby"
+                ran.add("plan")
+        if (
+            kind == "interpret"
+            and engine in ("auto", "algebra")
+            and isinstance(normalized, Comprehension)
+        ):
+            try:
+                with tracer.span("plan"):
+                    logical = build_plan(normalized, pre_normalize=True)
+                with tracer.span("optimize"):
+                    plan = self._optimize(logical)
+                kind = "algebra"
+                ran.update(("plan", "optimize"))
+            except PlanError:
+                if engine == "algebra":
+                    raise
+                plan = None
+        deps = analyze_dependencies(
+            kind, plan, normalized, self._known_extent_names(), self.functions
+        )
+        entry = CompiledQuery(
+            oql=oql,
+            engine=engine,
+            typecheck=typecheck,
+            key=canon_key,
+            calculus=calculus,
+            normalized=normalized,
+            trace=trace,
+            kind=kind,
+            plan=plan,
+            phases=tuple(p for p in COMPILE_PHASES if p in ran),
+            extents=deps.extents,
+            result_cacheable=deps.cacheable,
+            params=params,
+            version=version,
+            uncacheable_reason=deps.reason,
+        )
+        if cache is not None:
+            cache.remember(text_key, canon_key, entry)
+        return entry
+
+    def _typecheck_with_params(
+        self,
+        term: Term,
+        params: tuple[str, ...],
+        param_types: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """Type-check with ``$`` parameters bound (``ANY`` by default)."""
+        env = self._extent_types()
+        if params:
+            from repro.types.types import ANY
+
+            for name in params:
+                env["$" + name] = (param_types or {}).get(name, ANY)
+        TypeChecker(self.schema).check(term, env)
+
+    def _build_group_by_plan(self, node: Any) -> Optional[Reduce]:
+        """Build (and verify) a Nest plan without executing it."""
+        from repro.algebra.groupby import build_group_by_plan
+        from repro.oql.ast import Select
+
+        if not isinstance(node, Select) or not node.group_by:
+            return None
+        try:
+            with self.tracer.span("plan"):
+                plan = build_group_by_plan(node, Translator(self.schema))
+            if resolve_verify(None):
+                from repro.analysis.plancheck import verify_plan
+
+                verify_plan(plan, phase="group-by-plan")
+            return plan
+        except PlanError:
+            return None
+
+    def _finish_cached(
+        self,
+        oql: str,
+        entry: CompiledQuery,
+        engine: str,
+        params: dict[str, Any],
+        metrics: bool,
+        info: dict[str, Any],
+    ) -> QueryResult:
+        """Result-cache consultation, execution, and result assembly."""
+        cache = self.cache
+        tracer = self.tracer
+        plan_metrics = PlanMetrics() if (metrics or tracer.enabled) else None
+        result_key = None
+        versions = None
+        if cache is not None and cache.config.results and entry.result_cacheable:
+            if metrics:
+                # EXPLAIN ANALYZE needs real per-operator actuals;
+                # serving a stored value would report an empty plan.
+                info["result"] = "bypass"
+            else:
+                try:
+                    result_key = (entry.key, tuple(sorted(params.items())))
+                    hash(result_key)
+                except TypeError:
+                    result_key = None
+                if result_key is not None:
+                    versions = self._result_versions(entry)
+                    with tracer.span("cache"):
+                        hit, value = cache.result_for(result_key, versions)
+                    if hit:
+                        info["result"] = "hit"
+                        tracer.mark_cached("execute")
+                        used_engine = (
+                            "algebra" if entry.kind in ("groupby", "algebra") else "interpret"
+                        )
+                        return QueryResult(
+                            oql,
+                            entry.calculus,
+                            entry.normalized,
+                            entry.trace,
+                            entry.plan,
+                            value,
+                            None,
+                            used_engine,
+                            metrics=plan_metrics,
+                            cache=info,
+                        )
+                    info["result"] = "miss"
+        entry, plan, value, stats, used_engine = self._execute_entry(
+            entry, engine, params, plan_metrics
+        )
+        if (
+            result_key is not None
+            and versions is not None
+            and cache is not None
+            and entry.result_cacheable
+        ):
+            cache.remember_result(result_key, versions, value)
+        return QueryResult(
+            oql,
+            entry.calculus,
+            entry.normalized,
+            entry.trace,
+            plan,
+            value,
+            stats,
+            used_engine,
+            metrics=plan_metrics,
+            cache=info,
+        )
+
+    def _execute_entry(
+        self,
+        entry: CompiledQuery,
+        engine: str,
+        params: dict[str, Any],
+        plan_metrics: Optional[PlanMetrics],
+    ) -> tuple[CompiledQuery, Optional[Reduce], Any, Optional[ExecutionStats], str]:
+        """Execute a compiled entry, mirroring the seed's fallback chain.
+
+        The seed discovers plan failures at execution time (its try
+        blocks wrap execute); a cached plan must degrade the same way:
+        group-by plan fails → recompile without group-by; algebra plan
+        fails → demote to the interpreter (unless engine forces
+        algebra). The replacement entry overwrites the stale one.
+        """
+        evaluator = self.evaluator()
+        for name, value in params.items():
+            evaluator.bind_global("$" + name, value)
+        tracer = self.tracer
+        if entry.kind in ("groupby", "algebra"):
+            executor = Executor(
+                evaluator, self.catalog.index_mappings(), metrics=plan_metrics
+            )
+            try:
+                with tracer.span("execute"):
+                    value = executor.execute(entry.plan)
+                return entry, entry.plan, value, executor.stats, "algebra"
+            except PlanError:
+                if entry.kind == "groupby":
+                    entry = self._compile_entry(
+                        entry.oql,
+                        entry.engine,
+                        entry.typecheck,
+                        (entry.oql, entry.engine, entry.typecheck),
+                        entry.version,
+                        {},
+                        skip_group_by=True,
+                    )
+                    return self._execute_entry(entry, engine, params, plan_metrics)
+                if engine == "algebra":
+                    raise
+                entry = self._demote_entry(entry)
+        with tracer.span("execute"):
+            value = evaluator.evaluate(entry.normalized)
+        return entry, None, value, None, "interpret"
+
+    def _demote_entry(self, entry: CompiledQuery) -> CompiledQuery:
+        """Rewrite an entry in place to interpreter execution."""
+        from repro.cache.invalidation import analyze_dependencies
+
+        entry.kind = "interpret"
+        entry.plan = None
+        entry.phases = tuple(p for p in entry.phases if p not in ("plan", "optimize"))
+        deps = analyze_dependencies(
+            "interpret",
+            None,
+            entry.normalized,
+            self._known_extent_names(),
+            self.functions,
+        )
+        entry.extents = deps.extents
+        entry.result_cacheable = deps.cacheable
+        entry.uncacheable_reason = deps.reason
+        return entry
+
+    def _run_prepared(
+        self, prepared: Any, params: dict[str, Any], metrics: bool = False
+    ) -> QueryResult:
+        """Execute a :class:`~repro.cache.prepared.Prepared` statement."""
+        with self.tracer.span(
+            "query", oql_sha256=oql_fingerprint(prepared.oql)
+        ) as qspan:
+            entry = prepared._ensure()
+            prepared._validate(params)
+            info: dict[str, Any] = {"compile": "prepared"}
+            result = self._finish_cached(
+                prepared.oql, entry, prepared.engine, params, metrics, info
+            )
+        if qspan is not None:
+            result.span = qspan
+            if self.query_log is not None:
+                self.query_log.record(result, qspan)
+        return result
+
     def run_calculus(self, term: Term) -> Any:
         """Evaluate a hand-built calculus term against this database."""
         return self.evaluator().evaluate(term)
@@ -504,6 +911,10 @@ class Database:
         finally:
             self.tracer = saved
         doc["engine"] = result.engine
+        if result.cache is not None:
+            doc["cache"] = dict(result.cache)
+            if self.cache is not None:
+                doc["cache"]["stats"] = self.cache.stats.as_dict()
         if result.span is not None:
             doc["total_ms"] = round(result.span.duration_ms, 3)
             doc["phases_ms"] = {

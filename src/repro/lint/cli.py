@@ -21,7 +21,8 @@ import json
 import sys
 from typing import Callable, Iterator, Optional
 
-from repro.lint.diagnostics import Diagnostic
+from repro.lint.cachelint import run_batch
+from repro.lint.diagnostics import Diagnostic, sort_diagnostics
 from repro.lint.linter import Linter
 from repro.lint.render import render_all
 
@@ -82,9 +83,15 @@ def split_queries(source: str) -> Iterator[tuple[int, int, str]]:
 def lint_text(
     source: str, linter: Linter
 ) -> list[Diagnostic]:
-    """Lint every query in ``source``, spans in file coordinates."""
+    """Lint every query in ``source``, spans in file coordinates.
+
+    Runs the per-query pass pipeline over each ``;``-separated query,
+    then the batch passes (``QL4xx``, :mod:`repro.lint.cachelint`) over
+    the file's queries as a group.
+    """
     findings: list[Diagnostic] = []
-    for line0, col0, text in split_queries(source):
+    segments = list(split_queries(source))
+    for line0, col0, text in segments:
         for diag in linter.lint_source(text):
             if diag.span is not None and (line0 or col0):
                 diag = Diagnostic(
@@ -95,7 +102,8 @@ def lint_text(
                     diag.hint,
                 )
             findings.append(diag)
-    return findings
+    findings.extend(run_batch(segments, linter.schema))
+    return sort_diagnostics(findings)
 
 
 def _make_linter(schema_name: str) -> Linter:

@@ -11,7 +11,12 @@ Codes are grouped by hundreds:
   evaluated worse than an equivalent phrasing);
 - ``QL3xx`` — dataflow findings (powered by :mod:`repro.analysis`):
   redundant or degenerate data flow between generators, and
-  opportunities the optimizer could exploit with a physical hint.
+  opportunities the optimizer could exploit with a physical hint;
+- ``QL4xx`` — caching findings (powered by :mod:`repro.cache`): query
+  shapes that defeat or under-use the compiled-query cache. These are
+  *batch* findings — they compare the queries of one file against each
+  other, so they come from ``python -m repro lint`` rather than the
+  per-query pass pipeline.
 
 ``docs/LINT.md`` catalogues every code with examples; a test asserts
 the registry and the document stay in sync.
@@ -81,6 +86,12 @@ CODES: dict[str, tuple[str, str]] = {
         "info",
         "index-probe candidate: an equality selection on an extent attribute "
         "could be served by a hash index (Database.create_index)",
+    ),
+    "QL401": (
+        "info",
+        "literal-only query variants: several queries differ only in their "
+        "literals, so each one compiles separately instead of sharing a "
+        "prepared statement",
     ),
 }
 

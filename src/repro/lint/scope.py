@@ -70,6 +70,9 @@ def _walk(
     diagnostics: list[Diagnostic],
 ) -> None:
     if isinstance(term, Var):
+        if term.name.startswith("$"):
+            # a prepared-statement parameter — bound at execution time
+            return
         if term.name not in bound and term.name not in known and not is_fresh_name(term.name):
             candidates = sorted(n for n in (bound | known) if not is_fresh_name(n))
             suggestion = did_you_mean(term.name, candidates)

@@ -43,17 +43,39 @@ class ObjectStore:
     >>> _ = store.assign(x, 2)
     >>> store.deref(x)
     2
+
+    The store keeps a monotonic :attr:`version`, bumped by every
+    mutation (``new``, ``assign``, ``delete``, ``restore``, ``touch``).
+    The result cache uses it to invalidate entries whose plans read
+    object state — heap reads happen through implicit dereferences, so
+    one counter over the whole heap is the sound granularity.
     """
 
     def __init__(self) -> None:
         self._states: dict[int, Any] = {}
         self._next_oid = 1
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (see the class docstring)."""
+        return self._version
+
+    def touch(self) -> None:
+        """Bump :attr:`version` without changing any state.
+
+        For mutations the store cannot see itself — e.g. dropping an
+        object from an extent registry changes what queries observe
+        while every heap state stays identical.
+        """
+        self._version += 1
 
     def new(self, state: Any) -> Obj:
         """Allocate a fresh object with the given initial state."""
         obj = Obj(self._next_oid)
         self._next_oid += 1
         self._states[obj.oid] = state
+        self._version += 1
         return obj
 
     def deref(self, obj: Any) -> Any:
@@ -66,7 +88,17 @@ class ObjectStore:
         convention, so assignments can stand as qualifiers)."""
         self._check(obj)
         self._states[obj.oid] = state
+        self._version += 1
         return True
+
+    def delete(self, obj: Any) -> None:
+        """Remove an object's state from the heap (a direct delete).
+
+        Later dereferences of the OID raise (a dangling reference).
+        """
+        self._check(obj)
+        del self._states[obj.oid]
+        self._version += 1
 
     def contains(self, obj: Obj) -> bool:
         return isinstance(obj, Obj) and obj.oid in self._states
@@ -86,6 +118,7 @@ class ObjectStore:
     def restore(self, snapshot: dict[int, Any]) -> None:
         """Reset the heap to a previous :meth:`snapshot`."""
         self._states = dict(snapshot)
+        self._version += 1
 
     def _check(self, obj: Any) -> None:
         if not isinstance(obj, Obj):

@@ -104,6 +104,20 @@ def render_explain(doc: dict[str, Any]) -> str:
         lines.append(
             "phases: " + "  ".join(f"{k}={v:.3f}ms" for k, v in phases.items())
         )
+    cache = doc.get("cache")
+    if cache:
+        line = f"cache:  compile={cache.get('compile', '-')}"
+        if "result" in cache:
+            line += f"  result={cache['result']}"
+        stats = cache.get("stats")
+        if stats:
+            line += (
+                f"  (hits={stats['compile_hits']}+{stats['result_hits']}"
+                f"  misses={stats['compile_misses']}+{stats['result_misses']}"
+                f"  evictions={stats['evictions']}"
+                f"  invalidations={stats['invalidations']})"
+            )
+        lines.append(line)
     plan = doc.get("plan")
     if plan is None:
         lines.append(f"(no algebra plan: {doc.get('note', 'executed by interpreter')})")

@@ -47,6 +47,9 @@ def query_log_entry(
         }
     if result.stats is not None:
         entry["stats"] = result.stats.as_dict()
+    cache = getattr(result, "cache", None)
+    if cache:
+        entry["cache"] = dict(cache)
     entry["rule_fires"] = dict(sorted(result.trace.rule_counts().items()))
     if slow_ms is not None and span is not None:
         entry["slow"] = span.duration_ms >= slow_ms

@@ -31,6 +31,26 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
+#: Every phase of the query pipeline, in pipeline order. This is the
+#: single source of truth shared by the tracer, the cache's skip logic
+#: (a compile-cache hit marks the skipped subset as cached, see
+#: :meth:`Tracer.mark_cached`) and the benchmark report — so a phase
+#: renamed here renames everywhere.
+PIPELINE_PHASES = (
+    "lint",
+    "parse",
+    "translate",
+    "typecheck",
+    "normalize",
+    "plan",
+    "optimize",
+    "execute",
+)
+
+#: The front half a compilation-cache hit skips (``execute`` always
+#: runs; ``lint`` is a per-call flag, honored even on hits).
+COMPILE_PHASES = ("parse", "translate", "typecheck", "normalize", "plan", "optimize")
+
 
 @dataclass
 class TraceSpan:
@@ -129,6 +149,25 @@ class Tracer:
             else:
                 self.roots.append(span)
 
+    def mark_cached(self, *names: str) -> None:
+        """Record zero-duration spans for phases a cache hit skipped.
+
+        Without this, a compile-cache hit would make ``parse`` …
+        ``optimize`` silently vanish from the trace tree; instead each
+        skipped phase appears with ``meta={"cached": True}`` and renders
+        as ``(cached)``. No-op while tracing is off.
+        """
+        if not self.enabled:
+            return
+        parent = self._stack[-1] if self._stack else None
+        now = time.perf_counter()
+        for name in names:
+            span = TraceSpan(name, now, meta={"cached": True})
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+
     def reset(self) -> None:
         """Drop every finished span (open spans are unaffected)."""
         self.roots.clear()
@@ -171,6 +210,9 @@ class Tracer:
 def render_span(span: TraceSpan, indent: int = 0) -> str:
     """One span subtree as an indented tree with durations."""
     pad = "  " * indent
-    lines = [f"{pad}{span.name:<12} {span.duration_ms:9.3f} ms"]
+    if span.meta.get("cached"):
+        lines = [f"{pad}{span.name:<12}  (cached)"]
+    else:
+        lines = [f"{pad}{span.name:<12} {span.duration_ms:9.3f} ms"]
     lines.extend(render_span(child, indent + 1) for child in span.children)
     return "\n".join(lines)

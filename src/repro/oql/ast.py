@@ -46,6 +46,13 @@ class Name(OQLNode):
 
 
 @dataclass(frozen=True)
+class Param(OQLNode):
+    """``$name`` — a prepared-statement parameter (see ``db.prepare``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
 class Path(OQLNode):
     """``base.field`` — attribute navigation (implicit deref on objects)."""
 

@@ -72,7 +72,7 @@ _PUNCT = "(),[].:"
 class Token:
     """One lexical token with its source position (1-based)."""
 
-    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'punct' | 'eof'
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'param' | 'op' | 'punct' | 'eof'
     text: str
     line: int
     column: int
@@ -157,6 +157,15 @@ def _scan(source: str) -> Iterator[Token]:
                 yield Token("keyword", lowered, line, column, column + (j - i))
             else:
                 yield Token("ident", text, line, column, column + (j - i))
+            i = j
+            continue
+        if ch == "$":  # $name — a prepared-statement parameter
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise OQLSyntaxError("expected a parameter name after '$'", line, column)
+            yield Token("param", source[i + 1 : j], line, column, column + (j - i))
             i = j
             continue
         if ch in "\"'":

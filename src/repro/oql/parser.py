@@ -36,6 +36,7 @@ from repro.oql.ast import (
     Name,
     OQLNode,
     OrderItem,
+    Param,
     Path,
     Select,
     SortExpr,
@@ -265,6 +266,9 @@ class _Parser:
         if token.kind == "string":
             self._advance()
             return Literal(token.text)
+        if token.kind == "param":
+            self._advance()
+            return Param(token.text)
         if token.kind == "keyword":
             return self._keyword_primary(token)
         if token.kind == "ident":

@@ -72,6 +72,7 @@ from repro.oql.ast import (
     Name,
     OQLNode,
     OrderItem,
+    Param,
     Path,
     Select,
     SortExpr,
@@ -136,6 +137,11 @@ class Translator:
             return Const(node.value)
         if isinstance(node, Name):
             return Var(node.name)
+        if isinstance(node, Param):
+            # The '$' prefix survives into the calculus: no identifier
+            # can collide with it, and the evaluator resolves it from a
+            # per-execution binding installed by Prepared.run.
+            return Var("$" + node.name)
         if isinstance(node, Path):
             return Proj(self._tr(node.base), node.field)
         if isinstance(node, IndexOp):

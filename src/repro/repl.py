@@ -12,6 +12,7 @@ Run with ``python -m repro``. Commands:
 ``\\define n as q``    define a named view
 ``:lint on|off``      toggle post-query lint diagnostics (default on)
 ``:profile on|off``   toggle tracing + the JSON query log (default off)
+``:cache on|off|stats``  toggle the query cache / show its counters
 ``\\extents``          list extents and sizes
 ``\\schema``           list classes and attributes
 ``\\help``             this text
@@ -106,6 +107,22 @@ class Repl:
                 self.out("usage: :profile on|off")
                 return
             self.out(f"profile is {'on' if self.db.tracer.enabled else 'off'}")
+        elif name == "cache":
+            if rest == "on":
+                self.db.enable_cache()
+            elif rest == "off":
+                self.db.disable_cache()
+            elif rest == "stats":
+                if self.db.cache is None:
+                    self.out("cache is off")
+                else:
+                    for key, value in sorted(self.db.cache.stats_dict().items()):
+                        self.out(f"  {key}: {value}")
+                return
+            elif rest:
+                self.out("usage: :cache on|off|stats")
+                return
+            self.out(f"cache is {'on' if self.db.cache is not None else 'off'}")
         elif name == "define":
             view_name, _, body = rest.partition(" as ")
             if not body:
