@@ -7,7 +7,10 @@ actual — cardinalities (:mod:`repro.obs.cli`); ``python -m repro
 verify <file.oql | query> [...]`` executes queries with the
 rewrite-soundness verifier on (:mod:`repro.analysis.cli`);
 ``python -m repro cache stats|clear`` reports query-cache counters
-(:mod:`repro.cache.cli`); anything else starts the REPL.
+(:mod:`repro.cache.cli`); ``python -m repro metrics dump|top|serve``
+exports fleet telemetry — Prometheus/OTLP/StatsD dumps, the hot-query
+digest, or a live ``/metrics`` HTTP endpoint
+(:mod:`repro.obs.telemetry.cli`); anything else starts the REPL.
 """
 
 import sys
@@ -31,10 +34,21 @@ def main(argv=None):
         from repro.cache.cli import main as cache_main
 
         return cache_main(args[1:])
+    if args and args[0] == "metrics":
+        from repro.obs.telemetry.cli import main as metrics_main
+
+        return metrics_main(args[1:])
     from repro.repl import main as repl_main
 
     return repl_main(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `... | head`): not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -116,6 +116,16 @@ class RewriteVerifier:
         if self.alpha_check and hasattr(rule, "apply"):
             violations += self._check_alpha(rule, before, after)
         self.checked += 1
+        registry = _telemetry_registry()
+        if registry is not None:
+            from repro.obs.telemetry.instrument import (
+                record_verifier_check,
+                record_verifier_violation,
+            )
+
+            record_verifier_check(registry, name)
+            for violation in violations:
+                record_verifier_violation(registry, name, violation.invariant)
         if violations:
             raise VerificationError(
                 name, before, after, violations, span=span_of(before)
@@ -156,3 +166,14 @@ class RewriteVerifier:
                 )
             ]
         return []
+
+
+def _telemetry_registry():
+    """The active telemetry registry, or None (lazy: the verifier must
+    not import the telemetry package when telemetry was never loaded)."""
+    import sys
+
+    registry_mod = sys.modules.get("repro.obs.telemetry.registry")
+    if registry_mod is None:
+        return None
+    return registry_mod.current_registry()

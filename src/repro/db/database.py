@@ -18,6 +18,8 @@ the normalized term on the reference evaluator instead of the algebra
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Literal, Optional
 
@@ -111,7 +113,12 @@ class Database:
     True
     """
 
-    def __init__(self, schema: Optional[Schema] = None, cache: Any = None) -> None:
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        cache: Any = None,
+        telemetry: Any = None,
+    ) -> None:
         self.schema = schema if schema is not None else Schema()
         self.catalog = Catalog()
         self.store = ObjectStore()
@@ -122,12 +129,20 @@ class Database:
         self._stats: dict[str, Any] = {}
         #: pipeline tracer; disabled by default so queries run untouched
         self.tracer = Tracer(enabled=False)
+        # Per-thread tracer override (telemetry turns tracing on for
+        # its own queries without mutating the shared ``tracer``, which
+        # would race under concurrent query threads).
+        self._tracer_local = threading.local()
         #: structured query log, enabled via :meth:`profile`
         self.query_log: Optional[QueryLog] = None
         #: query cache (compiled plans + results); None means off — the
         #: default unless ``cache=`` or ``REPRO_CACHE`` says otherwise,
         #: keeping the uncached pipeline byte-for-byte the seed's
         self.cache: Optional[QueryCache] = resolve_cache(cache)
+        #: metrics registry (fleet telemetry); None means off — the
+        #: default unless ``telemetry=`` / ``REPRO_TELEMETRY`` /
+        #: :func:`repro.obs.telemetry.enable_telemetry` says otherwise
+        self.telemetry: Optional[Any] = _resolve_telemetry_lazy(telemetry)
         # Bumped whenever query *meaning* changes outside the catalog
         # (views defined, functions registered, object extents added);
         # part of the compile-version vector cache entries pin.
@@ -305,13 +320,76 @@ class Database:
         inside plan building). With everything off, the pipeline is
         exactly the seed's.
         """
-        with self.tracer.span("query", oql_sha256=oql_fingerprint(oql)) as qspan:
+        if self.telemetry is None:
+            return self._run_detailed_plain(
+                oql, engine, typecheck, strict, metrics, verify
+            )
+        return self._with_telemetry(
+            lambda: self._run_detailed_plain(
+                oql, engine, typecheck, strict, metrics, verify
+            )
+        )
+
+    def _run_detailed_plain(
+        self,
+        oql: str,
+        engine: Literal["auto", "algebra", "interpret"],
+        typecheck: bool,
+        strict: bool,
+        metrics: bool,
+        verify: Optional[bool],
+    ) -> QueryResult:
+        """The seed's ``run_detailed`` body, telemetry-free."""
+        with self._active_tracer().span(
+            "query", oql_sha256=oql_fingerprint(oql)
+        ) as qspan:
             with verification(verify):
                 result = self._run_pipeline(oql, engine, typecheck, strict, metrics)
         if qspan is not None:
             result.span = qspan
             if self.query_log is not None:
                 self.query_log.record(result, qspan)
+        return result
+
+    def _active_tracer(self) -> Tracer:
+        """This thread's tracer: the telemetry override when one is
+        installed for the current query, else the shared tracer."""
+        override = getattr(self._tracer_local, "tracer", None)
+        return override if override is not None else self.tracer
+
+    def _with_telemetry(self, thunk: Any) -> QueryResult:
+        """Run one query thunk with telemetry recording around it.
+
+        Timing uses ``time.perf_counter`` (never wall clock). When
+        session tracing is off, a throwaway enabled tracer is installed
+        thread-locally so the phase histograms still get a span tree —
+        the shared ``self.tracer`` is never touched, keeping concurrent
+        queries race-free. The registry is also *activated* for the
+        dynamic extent of the query so deep layers (query log, rewrite
+        verifier) can record without being handed it explicitly.
+        """
+        from repro.obs.telemetry.instrument import (
+            record_query_error,
+            record_query_result,
+        )
+        from repro.obs.telemetry.registry import activation
+
+        registry = self.telemetry
+        override = None
+        if not self.tracer.enabled:
+            override = Tracer(enabled=True)
+            self._tracer_local.tracer = override
+        start = time.perf_counter()
+        try:
+            with activation(registry):
+                result = thunk()
+        except Exception as err:
+            record_query_error(registry, err, time.perf_counter() - start)
+            raise
+        finally:
+            if override is not None:
+                self._tracer_local.tracer = None
+        record_query_result(registry, self, result, time.perf_counter() - start)
         return result
 
     def _run_pipeline(
@@ -324,7 +402,7 @@ class Database:
     ) -> QueryResult:
         if self.cache is not None:
             return self._run_pipeline_cached(oql, engine, typecheck, strict, metrics)
-        tracer = self.tracer
+        tracer = self._active_tracer()
         if strict:
             with tracer.span("lint"):
                 errors = [d for d in self.lint(oql) if d.is_error]
@@ -415,8 +493,9 @@ class Database:
 
         if not isinstance(node, Select) or not node.group_by:
             return None
+        tracer = self._active_tracer()
         try:
-            with self.tracer.span("plan"):
+            with tracer.span("plan"):
                 plan = build_group_by_plan(node, Translator(self.schema))
             if resolve_verify(None):
                 from repro.analysis.plancheck import verify_plan
@@ -425,7 +504,7 @@ class Database:
             executor = Executor(
                 evaluator, self.catalog.index_mappings(), metrics=plan_metrics
             )
-            with self.tracer.span("execute"):
+            with tracer.span("execute"):
                 value = executor.execute(plan)
             return plan, value, executor.stats
         except PlanError:
@@ -450,6 +529,28 @@ class Database:
     def disable_cache(self) -> None:
         """Detach the cache; the pipeline reverts to the uncached path."""
         self.cache = None
+
+    def enable_telemetry(self, telemetry: Any = True):
+        """Attach a metrics registry (``True`` = the shared process
+        default, or an explicit :class:`MetricsRegistry` of your own).
+
+        While attached, every :meth:`run`/:meth:`run_detailed` and
+        prepared execution updates the registry's counters, latency
+        histograms and hot-query table; export with
+        :func:`repro.obs.telemetry.prometheus_text` (and friends) or
+        serve them with ``python -m repro metrics serve``.
+        """
+        from repro.obs.telemetry.registry import resolve_telemetry
+
+        resolved = resolve_telemetry(telemetry)
+        if resolved is None:
+            resolved = resolve_telemetry(True)
+        self.telemetry = resolved
+        return resolved
+
+    def disable_telemetry(self) -> None:
+        """Detach telemetry; queries revert to the exact seed path."""
+        self.telemetry = None
 
     def prepare(
         self,
@@ -502,7 +603,7 @@ class Database:
         strict: bool,
         metrics: bool,
     ) -> QueryResult:
-        tracer = self.tracer
+        tracer = self._active_tracer()
         if strict:
             # Lint is a per-call request, honored on hits and misses
             # alike — a cached plan must not smuggle past strict mode.
@@ -545,7 +646,7 @@ class Database:
         from repro.obs.tracer import COMPILE_PHASES
 
         cache = self.cache
-        tracer = self.tracer
+        tracer = self._active_tracer()
         with tracer.span("parse"):
             node = parse(oql)
         with tracer.span("translate"):
@@ -650,7 +751,7 @@ class Database:
         if not isinstance(node, Select) or not node.group_by:
             return None
         try:
-            with self.tracer.span("plan"):
+            with self._active_tracer().span("plan"):
                 plan = build_group_by_plan(node, Translator(self.schema))
             if resolve_verify(None):
                 from repro.analysis.plancheck import verify_plan
@@ -671,7 +772,7 @@ class Database:
     ) -> QueryResult:
         """Result-cache consultation, execution, and result assembly."""
         cache = self.cache
-        tracer = self.tracer
+        tracer = self._active_tracer()
         plan_metrics = PlanMetrics() if (metrics or tracer.enabled) else None
         result_key = None
         versions = None
@@ -750,7 +851,7 @@ class Database:
         evaluator = self.evaluator()
         for name, value in params.items():
             evaluator.bind_global("$" + name, value)
-        tracer = self.tracer
+        tracer = self._active_tracer()
         if entry.kind in ("groupby", "algebra"):
             executor = Executor(
                 evaluator, self.catalog.index_mappings(), metrics=plan_metrics
@@ -801,7 +902,16 @@ class Database:
         self, prepared: Any, params: dict[str, Any], metrics: bool = False
     ) -> QueryResult:
         """Execute a :class:`~repro.cache.prepared.Prepared` statement."""
-        with self.tracer.span(
+        if self.telemetry is None:
+            return self._run_prepared_plain(prepared, params, metrics)
+        return self._with_telemetry(
+            lambda: self._run_prepared_plain(prepared, params, metrics)
+        )
+
+    def _run_prepared_plain(
+        self, prepared: Any, params: dict[str, Any], metrics: bool
+    ) -> QueryResult:
+        with self._active_tracer().span(
             "query", oql_sha256=oql_fingerprint(prepared.oql)
         ) as qspan:
             entry = prepared._ensure()
@@ -837,18 +947,34 @@ class Database:
         enabled: bool = True,
         slow_ms: Optional[float] = None,
         sink: Optional[Any] = None,
+        path: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
     ) -> None:
         """Toggle observability: pipeline tracing plus the query log.
 
         While on, every :meth:`run`/:meth:`run_detailed` records a phase
         span tree and per-operator metrics (on the :class:`QueryResult`)
         and appends one JSON entry to :attr:`query_log` — streamed to
-        ``sink`` (a ``str -> None`` callable) when given. ``slow_ms``
-        marks entries whose total time crossed the threshold. Off again
+        ``sink`` (a ``str -> None`` callable) when given, and/or
+        appended to the file at ``path`` with size-based rotation
+        (``max_bytes`` per file, ``backups`` old files kept; see
+        :class:`~repro.obs.querylog.QueryLog`). ``slow_ms`` marks
+        entries whose total time crossed the threshold. Off again
         restores the untraced pipeline exactly.
         """
         self.tracer.enabled = enabled
-        self.query_log = QueryLog(sink=sink, slow_ms=slow_ms) if enabled else None
+        self.query_log = (
+            QueryLog(
+                sink=sink,
+                slow_ms=slow_ms,
+                path=path,
+                max_bytes=max_bytes,
+                backups=backups,
+            )
+            if enabled
+            else None
+        )
 
     def explain(self, oql: str, analyze: bool = False) -> str:
         """The optimized plan with cardinality estimates.
@@ -941,6 +1067,26 @@ class Database:
         for extent in self.schema.extents():
             types[extent] = self.schema.extent_type(extent)
         return types
+
+
+def _resolve_telemetry_lazy(telemetry: Any):
+    """``Database(telemetry=...)`` -> registry or None, without
+    importing the telemetry package on the default-off path.
+
+    The package is only pulled in when the caller passed something,
+    the ``REPRO_TELEMETRY`` flag is set, or the registry module is
+    already loaded (someone called ``enable_telemetry()``)."""
+    if telemetry is None:
+        import os
+        import sys
+
+        if "repro.obs.telemetry.registry" not in sys.modules and os.environ.get(
+            "REPRO_TELEMETRY", ""
+        ).strip().lower() in ("", "0", "false", "off", "no"):
+            return None
+    from repro.obs.telemetry.registry import resolve_telemetry
+
+    return resolve_telemetry(telemetry)
 
 
 def _to_record(row: Any) -> Any:

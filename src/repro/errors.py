@@ -174,6 +174,11 @@ class DatabaseError(ReproError):
     """The database facade was misused (unknown extent, bad load)."""
 
 
+class TelemetryError(ReproError):
+    """The metrics registry was misused (kind/label mismatch, bad
+    quantile, invalid ``Database(telemetry=...)`` argument)."""
+
+
 class LintError(ReproError):
     """Strict mode rejected a query because the linter found errors.
 

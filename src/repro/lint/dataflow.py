@@ -196,15 +196,18 @@ def _probe_candidate(
     return None
 
 
-def _check_index_probes(
-    comp: Comprehension, ctx: LintContext, diagnostics: list[Diagnostic]
-) -> None:
+def comp_probe_candidates(
+    comp: Comprehension, known_names: frozenset[str]
+) -> Iterator[tuple[str, str, Term]]:
+    """Every ``(extent, attr, predicate)`` triple of ``comp`` where an
+    equality selection on a named extent could become an index probe —
+    QL303's detection, shared with the telemetry QL402 advisor."""
     extent_of = {
         q.var: q.source.name
         for q in comp.qualifiers
         if isinstance(q, Generator)
         and isinstance(q.source, Var)
-        and q.source.name in ctx.known_names
+        and q.source.name in known_names
         and not _skippable(q.var)
     }
     if not extent_of:
@@ -220,12 +223,33 @@ def _check_index_probes(
                 continue
             reported.add(probe)
             extent, attr = probe
-            diagnostics.append(
-                make(
-                    "QL303",
-                    f"equality on {attr!r} selects from extent {extent!r}; "
-                    "a hash index would turn the scan into a probe",
-                    span_of(leaf) or span_of(qual),
-                    hint=f"Database.create_index({extent!r}, {attr!r})",
-                )
+            yield extent, attr, leaf
+
+
+def index_probe_candidates(
+    term: Term, known_names: frozenset[str]
+) -> list[tuple[str, str]]:
+    """All distinct ``(extent, attr)`` probe candidates anywhere in
+    ``term`` (the whole-query view the QL402 advisor consumes)."""
+    out: list[tuple[str, str]] = []
+    for sub in subterms(term):
+        if isinstance(sub, Comprehension):
+            for extent, attr, _leaf in comp_probe_candidates(sub, known_names):
+                if (extent, attr) not in out:
+                    out.append((extent, attr))
+    return out
+
+
+def _check_index_probes(
+    comp: Comprehension, ctx: LintContext, diagnostics: list[Diagnostic]
+) -> None:
+    for extent, attr, leaf in comp_probe_candidates(comp, ctx.known_names):
+        diagnostics.append(
+            make(
+                "QL303",
+                f"equality on {attr!r} selects from extent {extent!r}; "
+                "a hash index would turn the scan into a probe",
+                span_of(leaf) or span_of(comp),
+                hint=f"Database.create_index({extent!r}, {attr!r})",
             )
+        )

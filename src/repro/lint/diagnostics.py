@@ -93,6 +93,12 @@ CODES: dict[str, tuple[str, str]] = {
         "literals, so each one compiles separately instead of sharing a "
         "prepared statement",
     ),
+    "QL402": (
+        "info",
+        "hot query without index probes: a query class dominates measured "
+        "runtime while scanning an extent an index could probe "
+        "(telemetry-informed QL303)",
+    ),
 }
 
 

@@ -10,7 +10,13 @@ Three layers, all opt-in and all zero-cost when off:
   :class:`~repro.algebra.physical.Executor`;
 - **EXPLAIN ANALYZE** (:mod:`repro.obs.explain`) and the **query log**
   (:mod:`repro.obs.querylog`): estimated-vs-actual plan reports and
-  structured JSONL query records built from the two layers above.
+  structured JSONL query records built from the two layers above;
+- **fleet telemetry** (:mod:`repro.obs.telemetry`): a process-wide
+  metrics registry (counters, gauges, log-bucket histograms, a
+  hot-query fingerprint table) with Prometheus/OTLP/StatsD exporters
+  and a ``/metrics`` HTTP endpoint. Deliberately *not* imported here —
+  ``import repro.obs.telemetry`` (or ``Database(telemetry=True)``)
+  pulls it in; the default-off query path never loads it.
 
 See ``docs/OBSERVABILITY.md`` for schemas and a walkthrough.
 """

@@ -3,20 +3,34 @@
 Opt-in via :meth:`Database.profile <repro.db.database.Database.profile>`
 (or ``:profile on`` in the REPL). Each entry carries everything needed
 to find a regression after the fact without storing the query text
-itself: a stable hash of the OQL, the engine that answered it, phase
-timings from the same :class:`~repro.obs.tracer.TraceSpan` tree the
-tracer records, the executor's row counters, and the normalizer's
-rule-fire counts.
+itself: a wall-clock ``ts`` stamp, a stable hash of the OQL, the engine
+that answered it, phase timings from the same
+:class:`~repro.obs.tracer.TraceSpan` tree the tracer records, the
+executor's row counters, and the normalizer's rule-fire counts.
+
+Timing sources: every *duration* in an entry (``total_ms``,
+``phases_ms``) comes from the tracer's ``time.perf_counter`` spans;
+``ts`` is the **only** wall-clock (``time.time``) field in the
+observability layer — it stamps when the event happened, never how
+long anything took (the timing-source regression test enforces this
+split repo-wide).
 
 A ``slow_ms`` threshold marks entries ``"slow": true`` when the whole
 query (not just execution) exceeded it — the usual first filter when
 tailing the log. Entry schema in ``docs/OBSERVABILITY.md``.
+
+Logs can stream to a file with size-based rotation: give ``path`` and
+``max_bytes`` and the log rolls ``query.log -> query.log.1 -> ...``
+before a write would cross the limit, keeping ``backups`` old files
+(oldest deleted). Rotation never splits an entry across files.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 from typing import Any, Callable, Optional
 
 from repro.obs.tracer import TraceSpan
@@ -37,6 +51,9 @@ def query_log_entry(
     """
     entry: dict[str, Any] = {
         "event": "query",
+        # Wall clock by design: a log reader correlates entries with
+        # the outside world. All durations stay on perf_counter.
+        "ts": round(time.time(), 6),
         "oql_sha256": oql_fingerprint(result.oql),
         "engine": result.engine,
     }
@@ -61,25 +78,93 @@ class QueryLog:
 
     ``sink`` is any ``str -> None`` callable (e.g. ``print``, a file's
     ``write`` wrapped to add newlines, or a REPL's output function);
-    when None the entries are only kept on :attr:`entries`.
+    when None the entries are only kept on :attr:`entries`. ``path``
+    additionally appends each line to a file, rotated before any write
+    that would push the file past ``max_bytes`` (``None`` disables
+    rotation); ``backups`` old files are kept as ``path.1..path.N``.
     """
 
     def __init__(
         self,
         sink: Optional[Callable[[str], None]] = None,
         slow_ms: Optional[float] = None,
+        path: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+        backups: int = 3,
     ) -> None:
         self.sink = sink
         self.slow_ms = slow_ms
+        self.path = os.fspath(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.backups = max(0, backups)
+        #: file rollovers performed so far
+        self.rotations = 0
         self.entries: list[dict[str, Any]] = []
 
     def record(self, result: Any, span: Optional[TraceSpan]) -> dict[str, Any]:
         """Append (and emit) the entry for one finished query."""
         entry = query_log_entry(result, span, self.slow_ms)
         self.entries.append(entry)
+        line = json.dumps(entry, sort_keys=True)
         if self.sink is not None:
-            self.sink(json.dumps(entry, sort_keys=True))
+            self.sink(line)
+        if self.path is not None:
+            self._write_line(line)
+        registry = _telemetry_registry()
+        if registry is not None:
+            from repro.obs.telemetry.instrument import record_querylog_entry
+
+            record_querylog_entry(registry, entry)
         return entry
+
+    # -- file sink with size-based rotation ---------------------------------------
+
+    def _write_line(self, line: str) -> None:
+        data = (line + "\n").encode("utf-8")
+        if self.max_bytes is not None:
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size > 0 and size + len(data) > self.max_bytes:
+                self.rotate()
+        with open(self.path, "ab") as handle:
+            handle.write(data)
+
+    def rotate(self) -> None:
+        """Roll ``path`` to ``path.1`` (shifting older backups up, the
+        oldest falling off); the next write starts a fresh file."""
+        if self.path is None:
+            return
+        oldest = f"{self.path}.{self.backups}"
+        if self.backups and os.path.exists(oldest):
+            os.remove(oldest)
+        for i in range(self.backups - 1, 0, -1):
+            src = f"{self.path}.{i}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{i + 1}")
+        if os.path.exists(self.path):
+            if self.backups:
+                os.replace(self.path, f"{self.path}.1")
+            else:
+                os.remove(self.path)
+        self.rotations += 1
+        registry = _telemetry_registry()
+        if registry is not None:
+            from repro.obs.telemetry.instrument import record_querylog_rotation
+
+            record_querylog_rotation(registry)
+
+    def log_files(self) -> list[str]:
+        """The current file plus existing backups, newest first."""
+        if self.path is None:
+            return []
+        files = [self.path] if os.path.exists(self.path) else []
+        for i in range(1, self.backups + 1):
+            backup = f"{self.path}.{i}"
+            if os.path.exists(backup):
+                files.append(backup)
+        return files
 
     def slow_queries(self) -> list[dict[str, Any]]:
         """Entries that crossed the ``slow_ms`` threshold."""
@@ -87,3 +172,14 @@ class QueryLog:
 
     def clear(self) -> None:
         self.entries.clear()
+
+
+def _telemetry_registry():
+    """The active telemetry registry, or None (lazy import: the query
+    log must not drag the telemetry package in when telemetry is off)."""
+    import sys
+
+    registry_mod = sys.modules.get("repro.obs.telemetry.registry")
+    if registry_mod is None:
+        return None
+    return registry_mod.current_registry()

@@ -1,0 +1,264 @@
+"""Recording helpers: one finished query -> registry updates.
+
+This is the only module that knows the **metric catalog** — every
+name, kind and label the telemetry layer emits (the table in
+``docs/OBSERVABILITY.md`` is generated from this vocabulary). The
+database calls :func:`record_query_result` / :func:`record_query_error`
+once per ``Database.run``; everything else here is decomposition of one
+:class:`~repro.db.database.QueryResult` into counter increments and
+histogram observations:
+
+- per-phase latency histograms keyed on the tracer's
+  :data:`~repro.obs.tracer.PIPELINE_PHASES` (plus the cache's
+  ``cache`` span);
+- success/error counters by engine and error class;
+- executor row counters and per-operator invocation counts;
+- cache hit/miss/eviction/invalidation counters bridged (as deltas)
+  from the shared :class:`~repro.cache.core.CacheStats` block;
+- normalization rule-fire counters;
+- the per-fingerprint hot-query table.
+
+Everything takes the registry explicitly — nothing here consults
+global state, so tests can drive a private registry and the database
+can share one registry across instances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.obs.telemetry.fingerprint import fingerprint_term, render_top
+from repro.obs.telemetry.registry import MetricsRegistry
+
+#: Rolling-window base name; exported as ``repro_window_qps`` /
+#: ``repro_window_latency_seconds`` gauges.
+WINDOW_NAME = "repro_window"
+
+
+def result_rows(value: Any) -> int:
+    """The result's cardinality: element count for collections, 1 for
+    scalars (mirrors the executor's Reduce accounting)."""
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return len(value)
+    try:
+        return len(value)  # Bag, OrderedSet, Vector
+    except TypeError:
+        return 1
+
+
+def _queries_counter(registry: MetricsRegistry):
+    return registry.counter(
+        "repro_queries_total",
+        "queries answered, by engine and outcome",
+        labels=("engine", "status"),
+    )
+
+
+def record_query_error(
+    registry: MetricsRegistry, error: BaseException, seconds: float
+) -> None:
+    """Count one failed query (by error class) and its latency."""
+    _queries_counter(registry).inc(engine="none", status="error")
+    registry.counter(
+        "repro_query_errors_total",
+        "failed queries by error class",
+        labels=("error",),
+    ).inc(error=type(error).__name__)
+    registry.histogram(
+        "repro_query_seconds", "whole-query latency"
+    ).observe(seconds)
+    registry.window(WINDOW_NAME).add(seconds)
+
+
+def record_query_result(
+    registry: MetricsRegistry, db: Any, result: Any, seconds: float
+) -> None:
+    """Decompose one successful :class:`QueryResult` into the catalog."""
+    _queries_counter(registry).inc(engine=result.engine, status="ok")
+    registry.histogram(
+        "repro_query_seconds", "whole-query latency"
+    ).observe(seconds)
+    registry.window(WINDOW_NAME).add(seconds)
+
+    span = result.span
+    if span is not None:
+        phase_hist = registry.histogram(
+            "repro_phase_seconds",
+            "per-pipeline-phase latency",
+            labels=("phase",),
+        )
+        for phase, ms in span.phase_times_ms().items():
+            phase_hist.observe(ms / 1e3, phase=phase)
+
+    rows = result_rows(result.value)
+    registry.counter(
+        "repro_rows_returned_total", "result elements returned to callers"
+    ).inc(rows)
+
+    stats = result.stats
+    if stats is not None:
+        exec_counter = registry.counter(
+            "repro_executor_rows_total",
+            "executor row counters (ExecutionStats), by counter name",
+            labels=("counter",),
+        )
+        for name, value in stats.as_dict().items():
+            if value:
+                exec_counter.inc(value, counter=name)
+
+    if result.metrics is not None and result.plan is not None:
+        op_counter = registry.counter(
+            "repro_operator_invocations_total",
+            "physical operator stream openings, by operator",
+            labels=("operator",),
+        )
+        op_rows = registry.counter(
+            "repro_operator_rows_total",
+            "bindings produced per physical operator class",
+            labels=("operator",),
+        )
+        for snap in result.metrics.walk(result.plan):
+            operator = type(snap.node).__name__
+            if snap.metrics.invocations:
+                op_counter.inc(snap.metrics.invocations, operator=operator)
+            if snap.metrics.rows_out:
+                op_rows.inc(snap.metrics.rows_out, operator=operator)
+
+    fires = result.trace.rule_counts()
+    if fires:
+        rule_counter = registry.counter(
+            "repro_normalize_rule_fires_total",
+            "normalization rule fires, by Table 3 rule",
+            labels=("rule",),
+        )
+        for rule, count in fires.items():
+            rule_counter.inc(count, rule=rule)
+
+    cache = getattr(db, "cache", None)
+    if cache is not None:
+        bridge_cache(registry, cache)
+
+    fingerprint = fingerprint_term(result.calculus)
+    registry.fingerprints.record(
+        fingerprint,
+        oql=result.oql,
+        seconds=seconds,
+        rows=rows,
+        engine=result.engine,
+        index_probes=stats.index_probes if stats is not None else 0,
+    )
+
+
+def bridge_cache(registry: MetricsRegistry, cache: Any) -> None:
+    """Mirror :class:`CacheStats` increments into telemetry counters.
+
+    The cache keeps cumulative counters of its own; the registry
+    remembers the last snapshot it saw per cache object and records
+    only the deltas, so a registry shared by several databases over one
+    cache still sums to the cache's own totals.
+    """
+    deltas = registry.bridge_deltas(cache.stats, cache.stats.as_dict())
+    if deltas:
+        event_counter = registry.counter(
+            "repro_cache_events_total",
+            "query-cache events bridged from CacheStats",
+            labels=("event",),
+        )
+        for event, delta in deltas.items():
+            event_counter.inc(delta, event=event)
+    entries_gauge = registry.gauge(
+        "repro_cache_entries",
+        "current query-cache entry counts",
+        labels=("store",),
+    )
+    for store, size in cache.sizes().items():
+        entries_gauge.set(size, store=store.replace("_entries", ""))
+
+
+def record_querylog_entry(
+    registry: MetricsRegistry, entry: dict[str, Any]
+) -> None:
+    """Count one structured query-log record (and its slow flag)."""
+    registry.counter(
+        "repro_querylog_entries_total",
+        "query-log records written, by slow flag",
+        labels=("slow",),
+    ).inc(slow="true" if entry.get("slow") else "false")
+
+
+def record_querylog_rotation(registry: MetricsRegistry) -> None:
+    registry.counter(
+        "repro_querylog_rotations_total", "query-log file rollovers"
+    ).inc()
+
+
+def record_verifier_check(registry: MetricsRegistry, rule: str) -> None:
+    registry.counter(
+        "repro_verifier_checks_total",
+        "rewrite fires checked by the soundness verifier, by rule",
+        labels=("rule",),
+    ).inc(rule=rule)
+
+
+def record_verifier_violation(
+    registry: MetricsRegistry, rule: str, invariant: str
+) -> None:
+    registry.counter(
+        "repro_verifier_violations_total",
+        "soundness violations raised by the verifier, by rule and invariant",
+        labels=("rule", "invariant"),
+    ).inc(rule=rule, invariant=invariant)
+
+
+# ---------------------------------------------------------------------------
+# Summaries (REPL :stats, CLI `metrics top`)
+# ---------------------------------------------------------------------------
+
+
+def summary_lines(
+    registry: MetricsRegistry, top_k: int = 5, db: Any = None
+) -> list[str]:
+    """A terminal-friendly digest: totals, latency quantiles, QPS and
+    the hot-query table (with QL402 advice when ``db`` is given)."""
+    queries = _queries_counter(registry)
+    ok = sum(
+        child.value for key, child in queries.items() if key[1] == "ok"
+    )
+    errors = queries.total() - ok
+    latency = registry.histogram("repro_query_seconds", "whole-query latency")
+    child = latency.labels()
+    window = registry.window(WINDOW_NAME)
+    lines = [
+        f"queries: {int(ok)} ok, {int(errors)} failed",
+        (
+            "latency: p50={:.3f}ms  p90={:.3f}ms  p99={:.3f}ms".format(
+                child.quantile(0.5) * 1e3,
+                child.quantile(0.9) * 1e3,
+                child.quantile(0.99) * 1e3,
+            )
+            if child.count
+            else "latency: (no samples)"
+        ),
+        f"window({window.width}s): qps={window.rate():.2f}  "
+        f"mean={window.mean() * 1e3:.3f}ms",
+    ]
+    entries = registry.fingerprints.top(top_k)
+    total = registry.fingerprints.total_seconds()
+    lines.append(f"hot queries (top {top_k} of {len(registry.fingerprints)}):")
+    lines.extend("  " + line for line in render_top(entries, total))
+    if db is not None:
+        from repro.obs.telemetry.advise import advise_hot_queries
+
+        for diag in advise_hot_queries(db, registry):
+            lines.append(f"{diag}")
+            if diag.hint:
+                lines.append(f"  = help: {diag.hint}")
+    return lines
+
+
+def timed() -> float:
+    """The duration clock every telemetry measurement uses
+    (``time.perf_counter`` — wall-clock stamps are for event ``ts``
+    fields only; see the timing-source test)."""
+    return time.perf_counter()

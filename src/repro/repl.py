@@ -13,6 +13,7 @@ Run with ``python -m repro``. Commands:
 ``:lint on|off``      toggle post-query lint diagnostics (default on)
 ``:profile on|off``   toggle tracing + the JSON query log (default off)
 ``:cache on|off|stats``  toggle the query cache / show its counters
+``:stats [on|off|top]``  toggle fleet telemetry / show its digest
 ``\\extents``          list extents and sizes
 ``\\schema``           list classes and attributes
 ``\\help``             this text
@@ -123,6 +124,26 @@ class Repl:
                 self.out("usage: :cache on|off|stats")
                 return
             self.out(f"cache is {'on' if self.db.cache is not None else 'off'}")
+        elif name == "stats":
+            if rest == "on":
+                self.db.enable_telemetry()
+            elif rest == "off":
+                self.db.disable_telemetry()
+            elif rest in ("", "top"):
+                if self.db.telemetry is None:
+                    self.out("telemetry is off — :stats on to enable")
+                else:
+                    from repro.obs.telemetry.instrument import summary_lines
+
+                    for line in summary_lines(self.db.telemetry, db=self.db):
+                        self.out("  " + line)
+                return
+            else:
+                self.out("usage: :stats [on|off|top]")
+                return
+            self.out(
+                f"telemetry is {'on' if self.db.telemetry is not None else 'off'}"
+            )
         elif name == "define":
             view_name, _, body = rest.partition(" as ")
             if not body:

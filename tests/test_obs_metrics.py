@@ -202,6 +202,10 @@ class TestSeedPathUntouched:
 
         plain = demo_travel_database(num_cities=5, seed=3)
         traced = demo_travel_database(num_cities=5, seed=3)
+        # Telemetry forces phase spans on; this test is about the seed
+        # path, so pin it off (robust under REPRO_TELEMETRY=1).
+        plain.disable_telemetry()
+        traced.disable_telemetry()
         traced.profile(True)
 
         off = plain.run_detailed(self.QUERY)
@@ -217,6 +221,7 @@ class TestSeedPathUntouched:
         from repro.db import demo_travel_database
 
         db = demo_travel_database(num_cities=4, seed=1)
+        db.disable_telemetry()
         db.profile(True)
         assert db.run_detailed("count(Cities)").span is not None
         db.profile(False)
@@ -229,6 +234,7 @@ class TestSeedPathUntouched:
         from repro.db import demo_travel_database
 
         db = demo_travel_database(num_cities=4, seed=1)
+        db.disable_telemetry()
         result = db.run_detailed(self.QUERY, metrics=True)
         assert result.span is None  # no tracer involved
         assert result.metrics is not None

@@ -116,3 +116,67 @@ class TestLifecycle:
         assert entry["engine"] == "interpret"
         assert "execute" in entry["phases_ms"]
         assert "plan" not in entry["phases_ms"]
+
+
+class TestFileRotation:
+    def test_writes_jsonl_to_path(self, db, tmp_path):
+        log_path = tmp_path / "query.log"
+        db.profile(True, path=str(log_path))
+        db.run(QUERY)
+        db.run("count(Cities)")
+        lines = log_path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert [json.loads(l) for l in lines] == db.query_log.entries
+
+    def test_rotates_before_crossing_max_bytes(self, db, tmp_path):
+        log_path = tmp_path / "query.log"
+        db.profile(True, path=str(log_path), max_bytes=400, backups=2)
+        for _ in range(12):
+            db.run("count(Cities)")
+        log = db.query_log
+        assert log.rotations >= 1
+        # Current file stays under the cap; backups exist, newest first.
+        assert log_path.stat().st_size <= 400
+        files = log.log_files()
+        assert files[0] == str(log_path)
+        assert len(files) >= 2
+        # No entry was split: every line in every file parses.
+        total_lines = 0
+        for path in files:
+            for line in open(path, encoding="utf-8"):
+                json.loads(line)
+                total_lines += 1
+        # backups=2 bounds retention, so we keep at most 3 files' worth
+        assert total_lines <= 12
+        assert total_lines == sum(
+            len(open(p, encoding="utf-8").readlines()) for p in files
+        )
+
+    def test_backup_count_bounded(self, db, tmp_path):
+        log_path = tmp_path / "query.log"
+        db.profile(True, path=str(log_path), max_bytes=200, backups=1)
+        for _ in range(20):
+            db.run("count(Cities)")
+        assert not (tmp_path / "query.log.2").exists()
+        assert (tmp_path / "query.log.1").exists()
+
+    def test_zero_backups_discards_old_files(self, db, tmp_path):
+        log_path = tmp_path / "query.log"
+        db.profile(True, path=str(log_path), max_bytes=200, backups=0)
+        for _ in range(10):
+            db.run("count(Cities)")
+        assert db.query_log.rotations >= 1
+        assert not (tmp_path / "query.log.1").exists()
+
+    def test_manual_rotate_without_path_is_noop(self):
+        log = QueryLog()
+        log.rotate()
+        assert log.rotations == 0
+
+    def test_no_max_bytes_never_rotates(self, db, tmp_path):
+        log_path = tmp_path / "query.log"
+        db.profile(True, path=str(log_path))
+        for _ in range(10):
+            db.run("count(Cities)")
+        assert db.query_log.rotations == 0
+        assert db.query_log.log_files() == [str(log_path)]

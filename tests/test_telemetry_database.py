@@ -1,0 +1,318 @@
+"""Telemetry wired through the Database: phase histograms, error
+counters, cache bridging, hot-query advice, CLI/REPL surfaces, and the
+telemetry-off parity guarantees."""
+
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.db.database import Database, demo_travel_database
+from repro.errors import ReproError
+from repro.obs.telemetry.cli import main as metrics_main
+from repro.obs.telemetry.instrument import summary_lines
+from repro.obs.telemetry.registry import MetricsRegistry
+from repro.obs.tracer import PIPELINE_PHASES
+
+
+@pytest.fixture
+def db():
+    return demo_travel_database(num_cities=4, seed=7)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+QUERY = "select distinct c.name from c in Cities"
+NESTED_QUERY = (
+    "select distinct h.name from h in "
+    "(select h2 from c in Cities, h2 in c.hotels) where h.stars > 2"
+)
+
+
+class TestRunInstrumentation:
+    def test_success_counter_and_latency(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run(QUERY)
+        db.run(QUERY)
+        queries = registry.counter(
+            "repro_queries_total", "", labels=("engine", "status")
+        )
+        assert queries.value(engine="algebra", status="ok") == 2
+        hist = registry.histogram("repro_query_seconds", "").labels()
+        assert hist.count == 2
+        assert hist.sum > 0
+
+    def test_phase_histograms_cover_pipeline(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run(QUERY)
+        phase_hist = registry.histogram(
+            "repro_phase_seconds", "", labels=("phase",)
+        )
+        seen = {key[0] for key, _ in phase_hist.items()}
+        assert {"parse", "translate", "normalize", "execute"} <= seen
+        assert seen <= set(PIPELINE_PHASES) | {"cache"}
+
+    def test_error_counter_by_class(self, db, registry):
+        db.enable_telemetry(registry)
+        with pytest.raises(ReproError):
+            db.run("select n.name from n in Nowhere")
+        queries = registry.counter(
+            "repro_queries_total", "", labels=("engine", "status")
+        )
+        assert queries.value(engine="none", status="error") == 1
+        errors = registry.counter(
+            "repro_query_errors_total", "", labels=("error",)
+        )
+        assert errors.total() == 1
+
+    def test_rows_and_rule_fires_recorded(self, db, registry):
+        db.enable_telemetry(registry)
+        # The nested select forces N9-flatten/N3-bind fires.
+        value = db.run(NESTED_QUERY)
+        rows = registry.counter("repro_rows_returned_total", "")
+        assert rows.total() == len(value)
+        fires = registry.counter(
+            "repro_normalize_rule_fires_total", "", labels=("rule",)
+        )
+        assert fires.total() > 0
+
+    def test_operator_and_executor_counters(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run(QUERY)
+        ops = registry.counter(
+            "repro_operator_invocations_total", "", labels=("operator",)
+        )
+        assert ops.total() > 0
+
+    def test_cache_bridge_deltas(self, db, registry):
+        db.enable_telemetry(registry)
+        db.enable_cache()
+        db.run(QUERY)
+        db.run(QUERY)
+        events = registry.counter(
+            "repro_cache_events_total", "", labels=("event",)
+        )
+        assert events.value(event="compile_misses") == 1
+        assert events.value(event="compile_hits") == 1
+        # A second bridge over the same cache must not double-count.
+        assert events.total() == sum(
+            v for v in db.cache.stats.as_dict().values()
+        )
+
+    def test_fingerprints_group_alpha_variants(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run("select distinct c.name from c in Cities")
+        db.run("select distinct x.name from x in Cities")
+        top = registry.fingerprints.top(5)
+        assert len(top) == 1
+        assert top[0].count == 2
+
+    def test_prepared_statements_recorded(self, db, registry):
+        db.enable_telemetry(registry)
+        q = db.prepare(
+            "select distinct c.name from c in Cities where c.state = $state"
+        )
+        q.run(state="OR")
+        q.run(state="WA")
+        queries = registry.counter(
+            "repro_queries_total", "", labels=("engine", "status")
+        )
+        assert queries.total() == 2
+
+    def test_verifier_counters_via_activation(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run(NESTED_QUERY, verify=True)
+        checks = registry.counter(
+            "repro_verifier_checks_total", "", labels=("rule",)
+        )
+        assert checks.total() > 0
+        violations = registry.counter(
+            "repro_verifier_violations_total", "", labels=("rule", "invariant")
+        )
+        assert violations.total() == 0
+
+    def test_querylog_counter_via_activation(self, db, registry):
+        db.enable_telemetry(registry)
+        db.profile(True, slow_ms=60_000.0)
+        db.run(QUERY)
+        entries = registry.counter(
+            "repro_querylog_entries_total", "", labels=("slow",)
+        )
+        assert entries.value(slow="false") == 1
+
+    def test_registry_shared_across_databases(self, registry):
+        a = demo_travel_database(num_cities=3, seed=1)
+        b = demo_travel_database(num_cities=3, seed=2)
+        a.enable_telemetry(registry)
+        b.enable_telemetry(registry)
+        a.run(QUERY)
+        b.run(QUERY)
+        queries = registry.counter(
+            "repro_queries_total", "", labels=("engine", "status")
+        )
+        assert queries.total() == 2
+
+    def test_constructor_accepts_registry(self, registry):
+        from repro.db.sample_data import make_travel_agency, travel_schema
+
+        db = Database(travel_schema(), telemetry=registry)
+        db.load_extents(make_travel_agency(num_cities=3, seed=1))
+        db.run(QUERY)
+        assert registry.histogram("repro_query_seconds", "").labels().count == 1
+
+    def test_disable_restores_off_path(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run(QUERY)
+        db.disable_telemetry()
+        db.run(QUERY)
+        assert registry.histogram("repro_query_seconds", "").labels().count == 1
+
+    def test_results_identical_with_and_without(self, db):
+        plain = db.run(QUERY)
+        db.enable_telemetry(MetricsRegistry())
+        assert db.run(QUERY) == plain
+
+    def test_tracer_override_does_not_leak(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run(QUERY)
+        assert db.tracer.enabled is False
+        assert db._active_tracer() is db.tracer
+        # A telemetered run still honours an explicitly enabled tracer.
+        db.profile(True)
+        result = db.run_detailed(QUERY)
+        assert result.span is not None
+        assert db.query_log.entries
+
+
+class TestThreadedStress:
+    def test_exact_totals_across_threads(self, registry):
+        threads, per_thread = 6, 8
+        db = demo_travel_database(num_cities=3, seed=5)
+        db.enable_telemetry(registry)
+        errors: list[Exception] = []
+
+        def work():
+            try:
+                for _ in range(per_thread):
+                    db.run(QUERY)
+            except Exception as err:  # pragma: no cover
+                errors.append(err)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert not errors
+        total = threads * per_thread
+        queries = registry.counter(
+            "repro_queries_total", "", labels=("engine", "status")
+        )
+        assert queries.total() == total
+        assert registry.histogram("repro_query_seconds", "").labels().count == total
+        top = registry.fingerprints.top(1)
+        assert top[0].count == total
+
+
+class TestOffPathParity:
+    def test_off_path_allocates_nothing_in_telemetry_modules(self, db):
+        db.disable_telemetry()  # robust when run under REPRO_TELEMETRY=1
+        db.run(QUERY)  # warm every lazy import on the off path
+        tracemalloc.start()
+        try:
+            db.run(QUERY)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        telemetry = snapshot.filter_traces(
+            [tracemalloc.Filter(True, "*/obs/telemetry/*")]
+        )
+        assert telemetry.statistics("filename") == []
+
+    def test_off_database_has_no_registry(self, monkeypatch):
+        from repro.obs.telemetry.registry import disable_telemetry
+
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        disable_telemetry()
+        db = demo_travel_database(num_cities=3, seed=1)
+        assert db.telemetry is None
+
+    def test_env_flag_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        db = demo_travel_database(num_cities=3, seed=1)
+        assert db.telemetry is not None
+
+
+class TestSummaryAndAdvice:
+    def test_summary_lines_shape(self, db, registry):
+        db.enable_telemetry(registry)
+        db.run(QUERY)
+        lines = summary_lines(registry, db=db)
+        text = "\n".join(lines)
+        assert "queries: 1 ok, 0 failed" in text
+        assert "latency: p50=" in text
+        assert "hot queries" in text
+
+    def test_ql402_advice_for_hot_unindexed_query(self, db, registry):
+        db.enable_telemetry(registry)
+        hot = "select c.name from c in Cities where c.state = 'OR'"
+        for _ in range(4):
+            db.run(hot)
+        lines = "\n".join(summary_lines(registry, db=db))
+        assert "QL402" in lines
+        assert "create_index('Cities', 'state')" in lines
+
+    def test_ql402_silent_once_indexed(self, db, registry):
+        from repro.obs.telemetry.advise import advise_hot_queries
+
+        db.enable_telemetry(registry)
+        db.create_index("Cities", "state")
+        hot = "select c.name from c in Cities where c.state = 'OR'"
+        for _ in range(4):
+            db.run(hot)
+        assert advise_hot_queries(db, registry) == []
+
+
+class TestCliAndRepl:
+    def test_metrics_dump_prom_round_trips(self, capsys):
+        from repro.obs.telemetry.promparse import parse_prometheus_text
+
+        assert metrics_main(["dump", "--burst", "1"]) == 0
+        out = capsys.readouterr().out
+        families = parse_prometheus_text(out)
+        assert "repro_queries_total" in families
+        assert "repro_query_errors_total" in families
+
+    def test_metrics_top(self, capsys):
+        assert metrics_main(["top", "--burst", "1", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "queries:" in out
+        assert "hot queries" in out
+
+    def test_metrics_dump_otlp_and_statsd(self, capsys):
+        import json
+
+        assert metrics_main(["dump", "--burst", "1", "--format", "otlp"]) == 0
+        json.loads(capsys.readouterr().out)
+        assert metrics_main(["dump", "--burst", "1", "--format", "statsd"]) == 0
+        assert "|c" in capsys.readouterr().out
+
+    def test_repl_stats_cycle(self, db):
+        from repro.repl import Repl
+
+        db.disable_telemetry()  # robust when run under REPRO_TELEMETRY=1
+        out: list[str] = []
+        repl = Repl(db, out=out.append)
+        repl.handle(":stats")
+        assert any("telemetry is off" in line for line in out)
+        repl.handle(":stats on")
+        repl.db.telemetry = MetricsRegistry()  # isolate from shared default
+        repl.handle(QUERY)
+        out.clear()
+        repl.handle(":stats")
+        assert any("queries: 1 ok" in line for line in out)
+        repl.handle(":stats off")
+        assert any("telemetry is off" in line for line in out)

@@ -1,0 +1,313 @@
+"""The metrics registry: counters, gauges, histograms, windows,
+fingerprints — including exactness under concurrent threads."""
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.telemetry.fingerprint import FingerprintTable, fingerprint_term
+from repro.obs.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    RollingWindow,
+    activation,
+    current_registry,
+    disable_telemetry,
+    enable_telemetry,
+    get_registry,
+    resolve_telemetry,
+    telemetry_enabled,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_total(self, registry):
+        c = registry.counter("t_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        assert c.total() == 5
+
+    def test_labels_split_children(self, registry):
+        c = registry.counter("t_by_engine", "", labels=("engine",))
+        c.inc(engine="algebra")
+        c.inc(2, engine="interpret")
+        assert c.labels(engine="algebra").value == 1
+        assert c.labels(engine="interpret").value == 2
+        assert c.total() == 3
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("t_mono", "")
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_get_or_create_shares_family(self, registry):
+        a = registry.counter("t_shared", "")
+        b = registry.counter("t_shared", "")
+        a.inc()
+        b.inc()
+        assert a.value() == 2
+
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("t_kind", "")
+        with pytest.raises(TelemetryError):
+            registry.gauge("t_kind", "")
+
+    def test_label_mismatch_rejected(self, registry):
+        registry.counter("t_labels", "", labels=("a",))
+        with pytest.raises(TelemetryError):
+            registry.counter("t_labels", "", labels=("b",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("t_gauge", "")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_scale(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_LATENCY_BUCKETS[-1] == pytest.approx(500.0)
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_observe_updates_count_sum_minmax(self, registry):
+        h = registry.histogram("t_hist", "").labels()
+        for v in (0.001, 0.002, 0.004):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.007)
+        assert h.min == pytest.approx(0.001)
+        assert h.max == pytest.approx(0.004)
+
+    def test_quantile_within_one_bucket(self, registry):
+        # With known bounds, the interpolated estimate must land in the
+        # same bucket as the exact quantile.
+        bounds = (0.001, 0.01, 0.1, 1.0)
+        h = registry.histogram("t_q", "", buckets=bounds).labels()
+        samples = [0.0005] * 50 + [0.05] * 40 + [0.5] * 10
+        for v in samples:
+            h.observe(v)
+        # exact p50 = 0.0005 (bucket le=0.001); estimate must be <= 0.001
+        assert h.quantile(0.5) <= 0.001
+        # exact p90 = 0.05 (bucket (0.01, 0.1]); estimate in that bucket
+        assert 0.01 < h.quantile(0.9) <= 0.1
+        # exact p99 = 0.5 (bucket (0.1, 1.0])
+        assert 0.1 < h.quantile(0.99) <= 1.0
+
+    def test_overflow_quantile_reports_max(self, registry):
+        h = registry.histogram("t_over", "", buckets=(0.1,)).labels()
+        h.observe(5.0)
+        assert h.quantile(0.99) == pytest.approx(5.0)
+
+    def test_bad_quantile_rejected(self, registry):
+        h = registry.histogram("t_badq", "").labels()
+        with pytest.raises(TelemetryError):
+            h.quantile(1.5)
+
+    def test_duplicate_buckets_rejected(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.histogram("t_bad", "", buckets=(0.5, 0.5))
+
+    def test_unsorted_buckets_normalized(self, registry):
+        h = registry.histogram("t_sorts", "", buckets=(1.0, 0.5))
+        assert h.bounds == (0.5, 1.0)
+
+
+class TestRollingWindow:
+    def test_rate_and_mean_with_fake_clock(self):
+        now = [100.0]
+        w = RollingWindow(width=10, clock=lambda: now[0])
+        for _ in range(20):
+            w.add(0.002)
+        count, total = w.totals()
+        assert count == 20
+        assert w.rate() == pytest.approx(2.0)
+        assert w.mean() == pytest.approx(0.002)
+        # Advance past the window: everything expires.
+        now[0] += 11
+        assert w.totals() == (0, 0.0)
+        assert w.rate() == 0.0
+
+    def test_slots_expire_individually(self):
+        now = [0.0]
+        w = RollingWindow(width=5, clock=lambda: now[0])
+        w.add(1.0)
+        now[0] = 3.0
+        w.add(1.0)
+        assert w.totals()[0] == 2
+        now[0] = 6.0  # first slot (t=0) fell out, second (t=3) remains
+        assert w.totals()[0] == 1
+
+
+class TestRegistryCollect:
+    def test_collect_sorted_and_snapshot_shape(self, registry):
+        registry.counter("t_b", "bb").inc()
+        registry.counter("t_a", "aa").inc()
+        names = [f.name for f in registry.collect()]
+        assert names == sorted(names)
+
+    def test_windows_materialize_as_gauges(self, registry):
+        registry.window("t_win").add(0.01)
+        fams = {f.name: f for f in registry.collect()}
+        assert "t_win_qps" in fams
+        assert "t_win_latency_seconds" in fams
+
+    def test_bridge_deltas(self, registry):
+        class Stats:
+            pass
+
+        src = Stats()
+        assert registry.bridge_deltas(src, {"hits": 2}) == {"hits": 2}
+        assert registry.bridge_deltas(src, {"hits": 5}) == {"hits": 3}
+        assert registry.bridge_deltas(src, {"hits": 5}) == {}
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("t_r", "").inc()
+        registry.fingerprints.record("abc", oql="q", seconds=0.1, rows=1)
+        registry.reset()
+        assert registry.collect() == []
+        assert len(registry.fingerprints) == 0
+
+
+class TestFingerprints:
+    def test_alpha_equivalent_terms_share_fingerprint(self):
+        from repro.oql.parser import parse
+        from repro.oql.translate import Translator
+        from repro.types.schema import Schema
+
+        t = Translator(Schema())
+        a = t.translate(parse("select distinct c.name from c in Cities"))
+        b = t.translate(parse("select distinct x.name from x in Cities"))
+        assert fingerprint_term(a) == fingerprint_term(b)
+
+    def test_distinct_queries_differ(self):
+        from repro.oql.parser import parse
+        from repro.oql.translate import Translator
+        from repro.types.schema import Schema
+
+        t = Translator(Schema())
+        a = t.translate(parse("select c.name from c in Cities"))
+        b = t.translate(parse("select c.zip from c in Cities"))
+        assert fingerprint_term(a) != fingerprint_term(b)
+
+    def test_top_orders_by_total_time(self):
+        table = FingerprintTable()
+        table.record("cold", oql="a", seconds=0.1, rows=1)
+        table.record("hot", oql="b", seconds=1.0, rows=1)
+        table.record("hot", oql="b", seconds=1.0, rows=1)
+        top = table.top(2)
+        assert [e.fingerprint for e in top] == ["hot", "cold"]
+        assert top[0].count == 2
+        assert top[0].mean_seconds == pytest.approx(1.0)
+
+    def test_eviction_keeps_hottest(self):
+        table = FingerprintTable(max_entries=2)
+        table.record("a", oql="a", seconds=5.0, rows=1)
+        table.record("b", oql="b", seconds=0.001, rows=1)
+        table.record("c", oql="c", seconds=1.0, rows=1)
+        fps = {e.fingerprint for e in table.top(10)}
+        assert "a" in fps and "c" in fps and "b" not in fps
+        assert len(table) == 2
+
+
+class TestEnablement:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        disable_telemetry()
+        assert not telemetry_enabled()
+        assert resolve_telemetry(None) is None
+
+    def test_env_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert telemetry_enabled()
+        assert resolve_telemetry(None) is get_registry()
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        disable_telemetry()
+        assert not telemetry_enabled()
+
+    def test_process_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        reg = MetricsRegistry()
+        try:
+            assert enable_telemetry(reg) is reg
+            assert resolve_telemetry(None) is reg
+        finally:
+            disable_telemetry()
+        assert resolve_telemetry(None) is None
+
+    def test_explicit_values(self):
+        reg = MetricsRegistry()
+        assert resolve_telemetry(reg) is reg
+        assert resolve_telemetry(False) is None
+        assert resolve_telemetry(True) is get_registry()
+        with pytest.raises(TelemetryError):
+            resolve_telemetry("yes")
+
+    def test_activation_is_thread_local(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        disable_telemetry()
+        reg = MetricsRegistry()
+        seen = {}
+        with activation(reg):
+            assert current_registry() is reg
+
+            def probe():
+                seen["other"] = current_registry()
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+        assert current_registry() is None
+
+
+class TestThreadedStress:
+    def test_exact_totals_under_contention(self, registry):
+        threads, per_thread = 8, 500
+        counter = registry.counter("t_stress", "", labels=("worker",))
+        hist = registry.histogram("t_stress_lat", "")
+        window = registry.window("t_stress_win")
+
+        def work(worker):
+            child = hist.labels()
+            for _ in range(per_thread):
+                counter.inc(worker=str(worker % 2))
+                child.observe(0.001)
+                window.add(0.001)
+
+        pool = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        total = threads * per_thread
+        assert counter.total() == total
+        child = hist.labels()
+        assert child.count == total
+        assert child.sum == pytest.approx(total * 0.001)
+        assert window.totals()[0] == total
+
+    def test_fingerprint_table_threaded(self):
+        table = FingerprintTable()
+        threads, per_thread = 6, 300
+
+        def work(i):
+            for _ in range(per_thread):
+                table.record(f"fp{i % 3}", oql="q", seconds=0.001, rows=1)
+
+        pool = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert sum(e.count for e in table.top(10)) == threads * per_thread
