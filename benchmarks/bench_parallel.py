@@ -1,0 +1,120 @@
+"""Experiment P2 (extension) — partition-parallel execution.
+
+Two workloads over the same commutative aggregate shape:
+
+- **latency-bound** — the reduce head calls a registered function that
+  waits on an external resource (modeled by ``time.sleep``, which
+  releases the GIL exactly like a socket or disk read would). Four
+  partitions overlap their waits, so the wall-clock shape is a ≥2x
+  speedup at 4 workers.
+- **cpu-bound** — pure-Python arithmetic in the head. CPython's GIL
+  serializes the bytecode, so the honest shape here is *parity* (the
+  fan-out must not make the query materially slower), not speedup.
+  The series is still recorded: it measures the coordination overhead
+  a free-threaded build would shed.
+
+Both shapes also assert the parallel value equals the serial value —
+the homomorphism argument of the paper's section 2, measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import build_company_db
+from repro.parallel import ParallelConfig
+from repro.values import to_python
+
+NUM_EMPLOYEES = 64
+SLEEP_S = 0.002  # per-element wait of the latency-bound head
+WORKERS = 4
+
+LATENCY_QUERY = "sum(select fetch_score(e.salary) from e in Employees)"
+CPU_QUERY = "sum(select e.salary * e.age + e.dno from e in Employees)"
+
+
+def _fetch_score(salary):
+    """A stand-in for an external lookup: waits, then scores."""
+    time.sleep(SLEEP_S)
+    return salary // 100
+
+
+def _bench_db(parallel=None):
+    db = build_company_db(num_employees=NUM_EMPLOYEES, seed=3)
+    db.register_function("fetch_score", _fetch_score)
+    if parallel is not None:
+        db.enable_parallel(parallel)
+    return db
+
+
+def _parallel_config():
+    return ParallelConfig(max_workers=WORKERS, min_partition_rows=1)
+
+
+@pytest.mark.parametrize("mode", ["serial", "parallel"])
+@pytest.mark.parametrize("workload", ["latency", "cpu"])
+def test_parallel_series(benchmark, workload, mode):
+    benchmark.group = f"P2 {workload}-bound n={NUM_EMPLOYEES}"
+    db = _bench_db(_parallel_config() if mode == "parallel" else None)
+    oql = LATENCY_QUERY if workload == "latency" else CPU_QUERY
+    benchmark(lambda: db.run(oql))
+    if mode == "parallel":
+        stats = db.run_detailed(oql).stats
+        assert stats.partitions == WORKERS
+
+
+# -- shape assertions (run by plain pytest, recorded in EXPERIMENTS.md) --------
+
+
+def test_shape_latency_bound_speedup_at_4_workers():
+    """The headline shape: a commutative aggregate whose head waits on
+    an external resource speeds up ≥2x with 4 workers."""
+    serial_db = _bench_db()
+    par_db = _bench_db(_parallel_config())
+    assert to_python(serial_db.run(LATENCY_QUERY)) == to_python(
+        par_db.run(LATENCY_QUERY)
+    )
+    serial_t = _median_time(lambda: serial_db.run(LATENCY_QUERY))
+    par_t = _median_time(lambda: par_db.run(LATENCY_QUERY))
+    assert serial_t / par_t >= 2.0, (
+        f"4-worker fan-out should at least halve a latency-bound "
+        f"aggregate: serial={serial_t * 1e3:.1f}ms "
+        f"parallel={par_t * 1e3:.1f}ms ({serial_t / par_t:.2f}x)"
+    )
+
+
+def test_shape_cpu_bound_parity_and_equality():
+    """Under the GIL a CPU-bound fold must stay near parity — the
+    fan-out's value is correctness plus latency overlap, and its cost
+    (partitioning + thread coordination) must stay bounded."""
+    serial_db = _bench_db()
+    par_db = _bench_db(_parallel_config())
+    assert to_python(serial_db.run(CPU_QUERY)) == to_python(par_db.run(CPU_QUERY))
+    serial_t = _median_time(lambda: serial_db.run(CPU_QUERY))
+    par_t = _median_time(lambda: par_db.run(CPU_QUERY))
+    assert par_t < serial_t * 3 + 0.01, (
+        f"coordination overhead out of bounds: serial={serial_t * 1e3:.2f}ms "
+        f"parallel={par_t * 1e3:.2f}ms"
+    )
+
+
+def test_shape_group_by_agrees_under_parallel():
+    serial_db = _bench_db()
+    par_db = _bench_db(_parallel_config())
+    oql = (
+        "select struct(d: dno, total: sum(select p.salary from p in partition)) "
+        "from e in Employees group by dno: e.dno"
+    )
+    assert to_python(serial_db.run(oql)) == to_python(par_db.run(oql))
+
+
+def _median_time(fn, repeats: int = 5) -> float:
+    """Best-of-N wall time — robust against load spikes in CI."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)

@@ -20,10 +20,12 @@ from repro.db import (
 
 
 # The engine benchmarks time repeated identical queries, so the query
-# cache (REPRO_CACHE=1) would collapse every timing to a cache hit;
-# both builders opt out. bench_cache.py manages its own caches.
+# cache (REPRO_CACHE=1) would collapse every timing to a cache hit, and
+# REPRO_PARALLEL would change what the serial series measures; both
+# builders opt out of both. bench_cache.py manages its own caches,
+# bench_parallel.py its own fan-out.
 def build_travel_db(num_cities: int, seed: int = 0) -> Database:
-    db = Database(travel_schema(), cache=False)
+    db = Database(travel_schema(), cache=False, parallel=False)
     db.load_extents(
         make_travel_agency(
             num_cities=num_cities, hotels_per_city=5, rooms_per_hotel=6, seed=seed
@@ -33,7 +35,7 @@ def build_travel_db(num_cities: int, seed: int = 0) -> Database:
 
 
 def build_company_db(num_employees: int, seed: int = 0) -> Database:
-    db = Database(company_schema(), cache=False)
+    db = Database(company_schema(), cache=False, parallel=False)
     db.load_extents(
         make_company(
             num_departments=max(2, num_employees // 10),

@@ -220,6 +220,31 @@ def report_te1(num_cities: int) -> None:
     )
 
 
+def report_p2() -> None:
+    heading("P2 — partition-parallel execution (4 workers, ms)")
+    from benchmarks.bench_parallel import (
+        CPU_QUERY,
+        LATENCY_QUERY,
+        NUM_EMPLOYEES,
+        WORKERS,
+        _bench_db,
+        _parallel_config,
+    )
+
+    serial_db = _bench_db()
+    par_db = _bench_db(_parallel_config())
+    print(f"  n={NUM_EMPLOYEES} employees, {WORKERS} workers:")
+    for label, oql in (("latency-bound", LATENCY_QUERY), ("cpu-bound", CPU_QUERY)):
+        serial_t = median_time(lambda: serial_db.run(oql))
+        par_t = median_time(lambda: par_db.run(oql))
+        print(
+            f"    {label:<14} serial={serial_t * 1e3:8.2f}  "
+            f"parallel={par_t * 1e3:8.2f}   {serial_t / par_t:5.2f}x"
+        )
+    stats = par_db.run_detailed(LATENCY_QUERY).stats
+    print(f"    partitions={stats.partitions} workers={stats.parallel_workers}")
+
+
 def report_u1(sizes) -> None:
     heading("U1 — update program timings")
     from benchmarks.bench_section4_updates import _insertion_program, _object_db
@@ -249,6 +274,7 @@ def main(argv=None) -> int:
     report_g1(g1_sizes)
     report_c1()
     report_p1(p1_cities)
+    report_p2()
     report_te1(p1_cities)
     report_v1(v1_sizes)
     report_u1(u1_sizes)

@@ -46,7 +46,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
 
 @dataclass
 class ExecutionStats:
-    """Per-operator row counters collected during one execution."""
+    """Per-operator row counters collected during one execution.
+
+    One instance belongs to one :class:`Executor`, which belongs to one
+    query execution — counters are plain ints and are **not** safe to
+    share across threads. Concurrent executions (including the
+    per-partition workers of :mod:`repro.parallel`) each own a private
+    block and combine them afterwards with :meth:`merge_from`.
+    """
 
     rows_scanned: int = 0
     rows_joined: int = 0
@@ -56,11 +63,30 @@ class ExecutionStats:
     rows_grouped: int = 0
     hash_builds: int = 0
     index_probes: int = 0
+    #: partitions executed by the parallel engine (0 on the serial path)
+    partitions: int = 0
+    #: worker threads the parallel engine ran those partitions on
+    parallel_workers: int = 0
 
     def as_dict(self) -> dict[str, int]:
         # Derived from the dataclass fields so a counter added later can
         # never be silently dropped from reports.
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge_from(self, other: "ExecutionStats") -> None:
+        """Add another block's row counters into this one.
+
+        Used to fold per-partition worker stats back into the query's
+        block after the workers have finished — summation is
+        order-insensitive, so the combined totals are deterministic
+        however the workers interleaved. The parallel bookkeeping
+        fields (``partitions``/``parallel_workers``) describe the whole
+        query, not one partition, and are deliberately not summed.
+        """
+        for f in fields(self):
+            if f.name in ("partitions", "parallel_workers"):
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 class Executor:
@@ -104,12 +130,16 @@ class Executor:
 
     def _reduce(self, plan: Reduce) -> Any:
         monoid = self.evaluator.resolve_monoid(plan.monoid, self.evaluator.global_env)
+        return self._fold(monoid, plan.head, self._iter(plan.child))
+
+    def _fold(self, monoid, head, bindings: Iterator[dict[str, Any]]) -> Any:
+        """Fold ``head`` over a binding stream into ``monoid``."""
         if isinstance(monoid, CollectionMonoid):
             acc = monoid.accumulator()
             is_vector = isinstance(monoid, VectorMonoid)
-            for binding in self._iter(plan.child):
+            for binding in bindings:
                 self.stats.rows_reduced += 1
-                value = self._eval(plan.head, binding)
+                value = self._eval(head, binding)
                 if is_vector and (not isinstance(value, tuple) or len(value) != 2):
                     raise EvaluationError(
                         "a vector reduce head must be a (value, index) pair"
@@ -117,9 +147,9 @@ class Executor:
                 acc.add(value)
             return acc.finish()
         result = monoid.zero()
-        for binding in self._iter(plan.child):
+        for binding in bindings:
             self.stats.rows_reduced += 1
-            result = monoid.merge(result, self._eval(plan.head, binding))
+            result = monoid.merge(result, self._eval(head, binding))
         return result
 
     # -- binding streams -------------------------------------------------------------

@@ -27,6 +27,7 @@ bounds; every hit/miss/eviction/invalidation increments a counter on
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -104,6 +105,13 @@ class LRUCache:
     ``on_evict`` fires once per entry displaced by capacity or expired
     by age — *not* for explicit :meth:`remove`/:meth:`clear` calls,
     which are the caller's own bookkeeping.
+
+    Thread-safe: every operation holds an internal reentrant lock.
+    ``get`` mutates (``move_to_end``, TTL expiry) and ``put`` evicts, so
+    even "read" paths race without it — concurrent unlocked calls can
+    corrupt the underlying ``OrderedDict`` or double-fire ``on_evict``.
+    The lock is reentrant because ``on_evict`` callbacks may re-enter
+    the cache.
     """
 
     def __init__(
@@ -120,44 +128,52 @@ class LRUCache:
         self._clock = clock
         self._on_evict = on_evict
         self._data: "OrderedDict[Any, tuple[Any, float]]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key: Any) -> Any:
         """The stored value, or :data:`MISSING`; refreshes recency."""
-        record = self._data.get(key)
-        if record is None:
-            return MISSING
-        value, stamp = record
-        if self.ttl is not None and self._clock() - stamp > self.ttl:
-            del self._data[key]
-            if self._on_evict is not None:
-                self._on_evict(key, value)
-            return MISSING
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            record = self._data.get(key)
+            if record is None:
+                return MISSING
+            value, stamp = record
+            if self.ttl is not None and self._clock() - stamp > self.ttl:
+                del self._data[key]
+                if self._on_evict is not None:
+                    self._on_evict(key, value)
+                return MISSING
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Any, value: Any) -> None:
-        self._data[key] = (value, self._clock())
-        self._data.move_to_end(key)
-        while len(self._data) > self.max_entries:
-            evicted_key, (evicted_value, _) = self._data.popitem(last=False)
-            if self._on_evict is not None:
-                self._on_evict(evicted_key, evicted_value)
+        with self._lock:
+            self._data[key] = (value, self._clock())
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                evicted_key, (evicted_value, _) = self._data.popitem(last=False)
+                if self._on_evict is not None:
+                    self._on_evict(evicted_key, evicted_value)
 
     def remove(self, key: Any) -> None:
-        self._data.pop(key, None)
+        with self._lock:
+            self._data.pop(key, None)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def keys(self) -> list[Any]:
         """Keys oldest-first (the eviction order)."""
-        return list(self._data)
+        with self._lock:
+            return list(self._data)
 
 
 @dataclass
@@ -201,11 +217,21 @@ class QueryCache:
     exact-repeat fast path skip even parsing. Result entries live in a
     separate LRU keyed by (canonical key, parameter bindings) and carry
     the version vector they were computed under.
+
+    Thread-safe: a cache may be shared across databases and
+    ``Database.run`` may be called from many threads, so every public
+    method holds one reentrant lock spanning its whole
+    lookup + version-check + stats-update sequence. That keeps the
+    counters exact (no lost ``+=``) and the check-then-remove
+    invalidation paths atomic. Lock order is QueryCache → LRUCache —
+    the inner stores are only ever touched under the outer lock, so the
+    eviction callback (which fires under both) cannot deadlock.
     """
 
     def __init__(self, config: Optional[CacheConfig] = None) -> None:
         self.config = config or CacheConfig()
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         clock = self.config.clock
         self._compiled = LRUCache(
             self.config.max_entries, self.config.ttl, clock, self._count_eviction
@@ -220,81 +246,91 @@ class QueryCache:
         )
 
     def _count_eviction(self, _key: Any, _value: Any) -> None:
-        self.stats.evictions += 1
+        with self._lock:
+            self.stats.evictions += 1
 
     # -- compilation cache ------------------------------------------------------
 
     def compiled_by_text(self, text_key: Any, version: Any) -> Optional[CompiledQuery]:
         """The entry for an exact query text, or None (counts a hit)."""
-        canon_key = self._aliases.get(text_key)
-        if canon_key is MISSING:
-            return None
-        return self.compiled_by_canon(canon_key, version)
+        with self._lock:
+            canon_key = self._aliases.get(text_key)
+            if canon_key is MISSING:
+                return None
+            return self.compiled_by_canon(canon_key, version)
 
     def compiled_by_canon(self, canon_key: Any, version: Any) -> Optional[CompiledQuery]:
         """The entry under a canonical key, version-checked (counts a hit)."""
-        entry = self._compiled.get(canon_key)
-        if entry is MISSING:
-            return None
-        if entry.version != version:
-            self.stats.invalidations += 1
-            self._compiled.remove(canon_key)
-            return None
-        self.stats.compile_hits += 1
-        entry.hits += 1
-        return entry
+        with self._lock:
+            entry = self._compiled.get(canon_key)
+            if entry is MISSING:
+                return None
+            if entry.version != version:
+                self.stats.invalidations += 1
+                self._compiled.remove(canon_key)
+                return None
+            self.stats.compile_hits += 1
+            entry.hits += 1
+            return entry
 
     def alias(self, text_key: Any, canon_key: Any) -> None:
         """Point a query text at an existing canonical entry."""
-        self._aliases.put(text_key, canon_key)
+        with self._lock:
+            self._aliases.put(text_key, canon_key)
 
     def remember(self, text_key: Any, canon_key: Any, entry: CompiledQuery) -> None:
         """Store a freshly compiled entry (counts the miss that led here)."""
-        self.stats.compile_misses += 1
-        self._compiled.put(canon_key, entry)
-        self._aliases.put(text_key, canon_key)
+        with self._lock:
+            self.stats.compile_misses += 1
+            self._compiled.put(canon_key, entry)
+            self._aliases.put(text_key, canon_key)
 
     # -- result cache ----------------------------------------------------------
 
     def result_for(self, key: Any, versions: Any) -> tuple[bool, Any]:
         """``(hit, value)`` for one result key under current ``versions``."""
-        record = self._results.get(key)
-        if record is MISSING:
-            self.stats.result_misses += 1
-            return False, None
-        value, stored_versions = record
-        if stored_versions != versions:
-            self.stats.invalidations += 1
-            self._results.remove(key)
-            self.stats.result_misses += 1
-            return False, None
-        self.stats.result_hits += 1
-        return True, value
+        with self._lock:
+            record = self._results.get(key)
+            if record is MISSING:
+                self.stats.result_misses += 1
+                return False, None
+            value, stored_versions = record
+            if stored_versions != versions:
+                self.stats.invalidations += 1
+                self._results.remove(key)
+                self.stats.result_misses += 1
+                return False, None
+            self.stats.result_hits += 1
+            return True, value
 
     def remember_result(self, key: Any, versions: Any, value: Any) -> None:
-        self._results.put(key, (value, versions))
+        with self._lock:
+            self._results.put(key, (value, versions))
 
     # -- maintenance -----------------------------------------------------------
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop every entry (and, optionally, zero the counters)."""
-        self._compiled.clear()
-        self._aliases.clear()
-        self._results.clear()
-        if reset_stats:
-            self.stats.reset()
+        with self._lock:
+            self._compiled.clear()
+            self._aliases.clear()
+            self._results.clear()
+            if reset_stats:
+                self.stats.reset()
 
     def sizes(self) -> dict[str, int]:
-        return {
-            "compiled_entries": len(self._compiled),
-            "result_entries": len(self._results),
-        }
+        with self._lock:
+            return {
+                "compiled_entries": len(self._compiled),
+                "result_entries": len(self._results),
+            }
 
     def stats_dict(self) -> dict[str, int]:
         """Counters plus current entry counts, JSON-ready."""
-        out = self.stats.as_dict()
-        out.update(self.sizes())
-        return out
+        with self._lock:
+            out = self.stats.as_dict()
+            out.update(self.sizes())
+            return out
 
 
 def resolve_cache(cache: Any) -> Optional[QueryCache]:

@@ -118,6 +118,7 @@ class Database:
         schema: Optional[Schema] = None,
         cache: Any = None,
         telemetry: Any = None,
+        parallel: Any = None,
     ) -> None:
         self.schema = schema if schema is not None else Schema()
         self.catalog = Catalog()
@@ -143,6 +144,11 @@ class Database:
         #: default unless ``telemetry=`` / ``REPRO_TELEMETRY`` /
         #: :func:`repro.obs.telemetry.enable_telemetry` says otherwise
         self.telemetry: Optional[Any] = _resolve_telemetry_lazy(telemetry)
+        #: partition-parallel execution config; None means off — the
+        #: default unless ``parallel=`` / ``REPRO_PARALLEL`` says
+        #: otherwise, keeping the serial pipeline byte-for-byte the
+        #: seed's (same opt-in convention as cache and telemetry)
+        self.parallel: Optional[Any] = _resolve_parallel_lazy(parallel)
         # Bumped whenever query *meaning* changes outside the catalog
         # (views defined, functions registered, object extents added);
         # part of the compile-version vector cache entries pin.
@@ -357,6 +363,29 @@ class Database:
         override = getattr(self._tracer_local, "tracer", None)
         return override if override is not None else self.tracer
 
+    def _executor(
+        self, evaluator: Evaluator, plan_metrics: Optional[PlanMetrics]
+    ) -> Executor:
+        """The executor for one query: the seed's serial
+        :class:`Executor` unless parallelism is enabled, in which case a
+        :class:`~repro.parallel.ParallelExecutor` (which itself falls
+        back to the identical serial path whenever the plan shape or
+        config rules fan-out out)."""
+        if self.parallel is None:
+            return Executor(
+                evaluator, self.catalog.index_mappings(), metrics=plan_metrics
+            )
+        from repro.parallel import ParallelExecutor
+
+        tracer = self._active_tracer()
+        return ParallelExecutor(
+            evaluator,
+            self.catalog.index_mappings(),
+            metrics=plan_metrics,
+            config=self.parallel,
+            tracer=tracer if tracer.enabled else None,
+        )
+
     def _with_telemetry(self, thunk: Any) -> QueryResult:
         """Run one query thunk with telemetry recording around it.
 
@@ -453,9 +482,7 @@ class Database:
                     logical = build_plan(normalized, pre_normalize=True)
                 with tracer.span("optimize"):
                     plan = self._optimize(logical)
-                executor = Executor(
-                    evaluator, self.catalog.index_mappings(), metrics=plan_metrics
-                )
+                executor = self._executor(evaluator, plan_metrics)
                 with tracer.span("execute"):
                     value = executor.execute(plan)
                 stats = executor.stats
@@ -501,9 +528,7 @@ class Database:
                 from repro.analysis.plancheck import verify_plan
 
                 verify_plan(plan, phase="group-by-plan")
-            executor = Executor(
-                evaluator, self.catalog.index_mappings(), metrics=plan_metrics
-            )
+            executor = self._executor(evaluator, plan_metrics)
             with tracer.span("execute"):
                 value = executor.execute(plan)
             return plan, value, executor.stats
@@ -551,6 +576,29 @@ class Database:
     def disable_telemetry(self) -> None:
         """Detach telemetry; queries revert to the exact seed path."""
         self.telemetry = None
+
+    def enable_parallel(self, parallel: Any = True):
+        """Turn on partition-parallel execution.
+
+        ``True`` gives the default config (4 workers), an ``int`` sets
+        the worker count, a
+        :class:`~repro.parallel.ParallelConfig` tunes everything
+        (morsel size, minimum rows, the serial-equivalence ``verify``
+        switch). Results are guaranteed identical to serial execution —
+        see ``docs/PARALLEL.md`` for the determinism argument per
+        monoid property.
+        """
+        from repro.parallel import resolve_parallel
+
+        resolved = resolve_parallel(parallel)
+        if resolved is None:
+            resolved = resolve_parallel(True)
+        self.parallel = resolved
+        return resolved
+
+    def disable_parallel(self) -> None:
+        """Revert to the seed's serial executor."""
+        self.parallel = None
 
     def prepare(
         self,
@@ -853,9 +901,7 @@ class Database:
             evaluator.bind_global("$" + name, value)
         tracer = self._active_tracer()
         if entry.kind in ("groupby", "algebra"):
-            executor = Executor(
-                evaluator, self.catalog.index_mappings(), metrics=plan_metrics
-            )
+            executor = self._executor(evaluator, plan_metrics)
             try:
                 with tracer.span("execute"):
                     value = executor.execute(entry.plan)
@@ -1087,6 +1133,25 @@ def _resolve_telemetry_lazy(telemetry: Any):
     from repro.obs.telemetry.registry import resolve_telemetry
 
     return resolve_telemetry(telemetry)
+
+
+def _resolve_parallel_lazy(parallel: Any):
+    """``Database(parallel=...)`` -> :class:`ParallelConfig` or None,
+    without importing :mod:`repro.parallel` on the default-off path."""
+    if parallel is None:
+        import os
+
+        if os.environ.get("REPRO_PARALLEL", "").strip().lower() in (
+            "",
+            "0",
+            "false",
+            "off",
+            "no",
+        ):
+            return None
+    from repro.parallel import resolve_parallel
+
+    return resolve_parallel(parallel)
 
 
 def _to_record(row: Any) -> Any:

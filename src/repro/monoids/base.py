@@ -71,11 +71,36 @@ class Monoid(ABC):
         return isinstance(self, CollectionMonoid)
 
     def merge_all(self, parts: Iterable[Any]) -> Any:
-        """Fold ``merge`` over ``parts``, starting from ``zero``."""
+        """Fold ``merge`` over ``parts``, starting from ``zero``.
+
+        **Ordering contract**: this is a left fold in the iteration
+        order of ``parts``. For non-commutative monoids (``list``,
+        ``oset``, ``string``, ``sortedbag`` over ties) the order of
+        ``parts`` is semantically significant — callers that compute
+        parts out of order (e.g. parallel partial folds) must restore
+        the original order before calling this, or use
+        :meth:`combine_partials` which states the same contract
+        explicitly.
+        """
         result = self.zero()
         for part in parts:
             result = self.merge(result, part)
         return result
+
+    def combine_partials(self, parts: Iterable[Any]) -> Any:
+        """Combine per-partition partial folds into one value.
+
+        This is the hook the partition-parallel engine
+        (:mod:`repro.parallel`) uses to recombine partial ``Reduce``
+        results. ``parts`` MUST be in partition-index order — the order
+        the partitions appear in the serial scan. Because ``merge`` is
+        associative, this then equals the serial fold for every monoid;
+        only *commutative* monoids additionally allow callers to relax
+        the order of ``parts``. Subclasses may override with a more
+        efficient combining strategy (e.g. a k-way merge for sorted
+        carriers) but must preserve these semantics.
+        """
+        return self.merge_all(parts)
 
     def __repr__(self) -> str:
         return f"<monoid {self.name}>"

@@ -27,8 +27,9 @@ translator uses for ``sort`` over a bag.
 from __future__ import annotations
 
 import bisect
+import heapq
 from collections import Counter
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from typing import Any
 
 from repro.monoids.base import Accumulator, CollectionMonoid
@@ -300,6 +301,22 @@ class SortedMonoid(CollectionMonoid):
 
     def accumulator(self) -> Accumulator:
         return _SortedAccumulator(self.sort_key, dedup=True)
+
+    def combine_partials(self, parts: Iterable[Any]) -> Any:
+        """K-way merge of already-sorted partials (each a carrier).
+
+        Each partial is sorted by :meth:`sort_key` already, so a heap
+        merge is O(total · log k) instead of the repeated re-sorts a
+        pairwise ``merge_all`` would pay. Exact duplicates are dropped
+        (idempotence), matching ``merge``.
+        """
+        merged = heapq.merge(*parts, key=self.sort_key)
+        out: list[Any] = []
+        for item in merged:
+            if self.idempotent and out and out[-1] == item:
+                continue
+            out.append(item)
+        return tuple(out)
 
     def length(self, collection: tuple) -> int:
         return len(collection)

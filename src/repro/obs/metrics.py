@@ -49,6 +49,17 @@ class OperatorMetrics:
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def merge_from(self, other: "OperatorMetrics") -> None:
+        """Add another block's counters into this one.
+
+        Counter blocks are single-threaded by design (one PlanMetrics
+        per execution); concurrent collectors each keep a private block
+        and combine afterwards — summation is order-insensitive, so the
+        totals are deterministic however the collectors interleaved.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
 
 @dataclass
 class NodeSnapshot:

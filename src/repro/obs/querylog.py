@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -100,16 +101,28 @@ class QueryLog:
         #: file rollovers performed so far
         self.rotations = 0
         self.entries: list[dict[str, Any]] = []
+        # One lock covers entries, the sink, and the rotate+append file
+        # sequence: without it, concurrent Database.run callers sharing
+        # a profile() log could interleave half-written lines or race a
+        # rotation against an in-flight append (losing the line into the
+        # just-rolled file). RLock because rotate() is also public.
+        self._lock = threading.RLock()
 
     def record(self, result: Any, span: Optional[TraceSpan]) -> dict[str, Any]:
-        """Append (and emit) the entry for one finished query."""
+        """Append (and emit) the entry for one finished query.
+
+        Thread-safe: concurrent recorders serialize on an internal lock
+        so JSONL lines never interleave and rotation never splits or
+        drops an entry.
+        """
         entry = query_log_entry(result, span, self.slow_ms)
-        self.entries.append(entry)
         line = json.dumps(entry, sort_keys=True)
-        if self.sink is not None:
-            self.sink(line)
-        if self.path is not None:
-            self._write_line(line)
+        with self._lock:
+            self.entries.append(entry)
+            if self.sink is not None:
+                self.sink(line)
+            if self.path is not None:
+                self._write_line(line)
         registry = _telemetry_registry()
         if registry is not None:
             from repro.obs.telemetry.instrument import record_querylog_entry
@@ -136,19 +149,20 @@ class QueryLog:
         oldest falling off); the next write starts a fresh file."""
         if self.path is None:
             return
-        oldest = f"{self.path}.{self.backups}"
-        if self.backups and os.path.exists(oldest):
-            os.remove(oldest)
-        for i in range(self.backups - 1, 0, -1):
-            src = f"{self.path}.{i}"
-            if os.path.exists(src):
-                os.replace(src, f"{self.path}.{i + 1}")
-        if os.path.exists(self.path):
-            if self.backups:
-                os.replace(self.path, f"{self.path}.1")
-            else:
-                os.remove(self.path)
-        self.rotations += 1
+        with self._lock:
+            oldest = f"{self.path}.{self.backups}"
+            if self.backups and os.path.exists(oldest):
+                os.remove(oldest)
+            for i in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            if os.path.exists(self.path):
+                if self.backups:
+                    os.replace(self.path, f"{self.path}.1")
+                else:
+                    os.remove(self.path)
+            self.rotations += 1
         registry = _telemetry_registry()
         if registry is not None:
             from repro.obs.telemetry.instrument import record_querylog_rotation
@@ -171,7 +185,8 @@ class QueryLog:
         return [entry for entry in self.entries if entry.get("slow")]
 
     def clear(self) -> None:
-        self.entries.clear()
+        with self._lock:
+            self.entries.clear()
 
 
 def _telemetry_registry():

@@ -26,7 +26,7 @@ can share one registry across instances.
 from __future__ import annotations
 
 import time
-from typing import Any, Optional
+from typing import Any
 
 from repro.obs.telemetry.fingerprint import fingerprint_term, render_top
 from repro.obs.telemetry.registry import MetricsRegistry
@@ -106,6 +106,19 @@ def record_query_result(
         for name, value in stats.as_dict().items():
             if value:
                 exec_counter.inc(value, counter=name)
+        if getattr(stats, "partitions", 0):
+            registry.counter(
+                "repro_parallel_queries_total",
+                "queries answered by the partition-parallel engine",
+            ).inc()
+            registry.histogram(
+                "repro_parallel_partitions",
+                "partitions per parallel query",
+            ).observe(stats.partitions)
+            registry.histogram(
+                "repro_parallel_workers",
+                "worker threads per parallel query",
+            ).observe(stats.parallel_workers)
 
     if result.metrics is not None and result.plan is not None:
         op_counter = registry.counter(

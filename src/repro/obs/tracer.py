@@ -26,6 +26,7 @@ the REPL print. The schema is documented in ``docs/OBSERVABILITY.md``.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -126,7 +127,21 @@ class Tracer:
         self.enabled = enabled
         #: finished top-level spans, oldest first
         self.roots: list[TraceSpan] = []
-        self._stack: list[TraceSpan] = []
+        # The open-span stack is thread-local: two threads tracing
+        # through one shared Tracer must each see their own nesting, or
+        # a span opened on thread A would adopt thread B's children and
+        # the pop order would corrupt both trees. ``roots`` stays shared
+        # (guarded by ``_roots_lock``) so every thread's finished
+        # top-level spans land in one exportable list.
+        self._stacks = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[TraceSpan]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
 
     def span(self, name: str, **meta: Any):
         """A context manager timing ``name``; no-op when disabled."""
@@ -137,16 +152,36 @@ class Tracer:
     @contextmanager
     def _timed(self, name: str, meta: dict[str, Any]) -> Iterator[TraceSpan]:
         span = TraceSpan(name, time.perf_counter(), meta=dict(meta))
-        parent = self._stack[-1] if self._stack else None
-        self._stack.append(span)
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        stack.append(span)
         try:
             yield span
         finally:
             span.duration = time.perf_counter() - span.start
-            self._stack.pop()
+            stack.pop()
             if parent is not None:
                 parent.children.append(span)
             else:
+                with self._roots_lock:
+                    self.roots.append(span)
+
+    def attach(self, name: str, start: float, duration: float, **meta: Any) -> None:
+        """Attach an already-measured span under the current open span.
+
+        For work timed on another thread (e.g. a parallel partition
+        worker): the worker records ``perf_counter`` start/duration
+        itself, and the coordinating thread attaches the finished span
+        to its own open trace. No-op while tracing is off.
+        """
+        if not self.enabled:
+            return
+        span = TraceSpan(name, start, duration=duration, meta=dict(meta))
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._roots_lock:
                 self.roots.append(span)
 
     def mark_cached(self, *names: str) -> None:
@@ -159,14 +194,16 @@ class Tracer:
         """
         if not self.enabled:
             return
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
         now = time.perf_counter()
         for name in names:
             span = TraceSpan(name, now, meta={"cached": True})
             if parent is not None:
                 parent.children.append(span)
             else:
-                self.roots.append(span)
+                with self._roots_lock:
+                    self.roots.append(span)
 
     def reset(self) -> None:
         """Drop every finished span (open spans are unaffected)."""

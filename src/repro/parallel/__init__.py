@@ -1,0 +1,29 @@
+"""Partition-parallel execution of monoid homomorphisms.
+
+The calculus makes this safe by construction: every query is a monoid
+homomorphism, ``merge`` is associative, and the C/I property lattice
+(:mod:`repro.monoids.base`) says exactly when partition order may be
+relaxed. See ``docs/PARALLEL.md`` for enablement, the determinism
+guarantees by monoid property, and worker tuning.
+
+Off by default; enable with ``Database(parallel=...)``,
+``Database.enable_parallel()`` or ``REPRO_PARALLEL=1``.
+"""
+
+from repro.parallel.config import (
+    ParallelConfig,
+    config_from_env,
+    parallel_env_enabled,
+    resolve_parallel,
+)
+from repro.parallel.executor import ParallelExecutor
+from repro.parallel.partition import partition_rows
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelExecutor",
+    "config_from_env",
+    "parallel_env_enabled",
+    "partition_rows",
+    "resolve_parallel",
+]

@@ -1,0 +1,53 @@
+"""Order-preserving partitioning of materialized binding streams.
+
+A partition is a contiguous slice of the input sequence, so
+concatenating the partitions in index order reproduces the input
+exactly — the property the non-commutative combine path relies on
+(:meth:`repro.monoids.base.Monoid.combine_partials`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def partition_rows(
+    rows: Sequence[T],
+    max_workers: int,
+    morsel_size: Optional[int] = None,
+) -> list[Sequence[T]]:
+    """Split ``rows`` into contiguous, non-empty, in-order partitions.
+
+    Without ``morsel_size`` the split is as even as possible across at
+    most ``max_workers`` partitions; with it, fixed-size morsels (the
+    last one short). Never returns empty partitions: fewer rows than
+    workers (or than one morsel) simply yields fewer partitions —
+    including the degenerate cases of an empty input (``[]``) and a
+    requested partition count far above the element count.
+
+    >>> partition_rows([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    >>> partition_rows([1, 2], 8)
+    [[1], [2]]
+    >>> partition_rows([], 4)
+    []
+    >>> partition_rows([1, 2, 3, 4, 5], 2, morsel_size=2)
+    [[1, 2], [3, 4], [5]]
+    """
+    n = len(rows)
+    if n == 0:
+        return []
+    if morsel_size is not None:
+        size = max(1, morsel_size)
+        return [rows[i : i + size] for i in range(0, n, size)]
+    count = max(1, min(max_workers, n))
+    base, extra = divmod(n, count)
+    parts: list[Sequence[T]] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        parts.append(rows[start : start + size])
+        start += size
+    return parts

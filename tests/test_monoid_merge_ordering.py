@@ -1,0 +1,132 @@
+"""Ordering contracts of ``merge_all`` and ``combine_partials``.
+
+Regression suite for the parallel-engine audit: every fold site must
+treat ``merge_all`` as a *left fold in iteration order* (the carrier
+order is semantically significant for non-commutative monoids), and
+``combine_partials`` over partition-ordered partials must equal the
+serial fold for every monoid in the catalog — that equality is exactly
+what makes partitioned execution a homomorphism.
+"""
+
+import random
+
+from repro.monoids import (
+    LIST,
+    OSET,
+    STRING,
+    SUM,
+    get_monoid,
+    sorted_bag_monoid,
+    sorted_monoid,
+    vector_monoid,
+)
+
+PRIMITIVE_INT = ["sum", "prod", "max", "min"]
+PRIMITIVE_BOOL = ["some", "all"]
+COLLECTION = ["set", "bag", "list", "oset"]
+
+
+def elements_for(name, rng, n):
+    if name in PRIMITIVE_BOOL:
+        return [rng.random() < 0.5 for _ in range(n)]
+    if name == "string":
+        return [rng.choice("abcde") for _ in range(n)]
+    return [rng.randint(-9, 9) for _ in range(n)]
+
+
+def serial_fold(monoid, elements):
+    out = monoid.zero()
+    for element in elements:
+        out = monoid.merge(out, monoid.unit(element))
+    return out
+
+
+def split(elements, k):
+    """Contiguous partitions (possibly empty tails) in element order."""
+    if not elements:
+        return [[]]
+    size = max(1, len(elements) // k)
+    return [elements[i : i + size] for i in range(0, len(elements), size)]
+
+
+def test_merge_all_is_left_fold_in_iteration_order():
+    # list and string concatenation expose any reordering immediately
+    assert LIST.merge_all([(1,), (2, 3), (4,)]) == (1, 2, 3, 4)
+    assert STRING.merge_all(["ab", "c", "d"]) == "abcd"
+    # a generator (one-shot iterable) must work too
+    assert LIST.merge_all(iter([(1,), (2,)])) == (1, 2)
+
+
+def test_combine_partials_equals_serial_fold_every_monoid():
+    rng = random.Random("ordering")
+    catalog = [get_monoid(name) for name in
+               PRIMITIVE_INT + PRIMITIVE_BOOL + COLLECTION + ["string"]]
+    catalog.append(sorted_monoid(lambda x: x))
+    catalog.append(sorted_bag_monoid(lambda x: x))
+    for monoid in catalog:
+        for n in (0, 1, 5, 23):
+            elements = elements_for(monoid.name, rng, n)
+            serial = serial_fold(monoid, elements)
+            for k in (1, 2, 3, 7):
+                partials = [serial_fold(monoid, part) for part in split(elements, k)]
+                combined = monoid.combine_partials(partials)
+                assert combined == serial, (monoid.name, n, k)
+
+
+def test_commutative_monoids_accept_any_partial_order():
+    rng = random.Random("commute")
+    for name in PRIMITIVE_INT + ["bag", "set"]:
+        monoid = get_monoid(name)
+        assert monoid.commutative, name
+        elements = elements_for(name, rng, 17)
+        serial = serial_fold(monoid, elements)
+        partials = [serial_fold(monoid, part) for part in split(elements, 4)]
+        rng.shuffle(partials)
+        assert monoid.combine_partials(partials) == serial, name
+
+
+def test_non_commutative_monoids_are_order_sensitive():
+    # The contract the parallel engine relies on: for these monoids the
+    # partial order IS the answer, so reordering must be observable.
+    assert not LIST.commutative and not STRING.commutative and not OSET.commutative
+    assert LIST.combine_partials([(1,), (2,)]) != LIST.combine_partials([(2,), (1,)])
+    assert STRING.combine_partials(["a", "b"]) != STRING.combine_partials(["b", "a"])
+
+
+def test_sorted_combine_is_kway_merge_with_idempotent_dedup():
+    asc = sorted_monoid(lambda x: x)
+    # already-sorted partials with a cross-partition duplicate
+    assert asc.combine_partials([(1, 3, 5), (2, 3, 6)]) == (1, 2, 3, 5, 6)
+    bag = sorted_bag_monoid(lambda x: x)
+    assert bag.combine_partials([(1, 3, 5), (2, 3, 6)]) == (1, 2, 3, 3, 5, 6)
+
+
+def test_sorted_combine_matches_pairwise_merge():
+    rng = random.Random("kway")
+    asc = sorted_monoid(lambda x: x)
+    parts = []
+    for _ in range(5):
+        parts.append(serial_fold(asc, [rng.randint(0, 20) for _ in range(8)]))
+    assert asc.combine_partials(parts) == asc.merge_all(parts)
+
+
+def test_vector_combine_partials():
+    vec = vector_monoid(SUM, 6)
+
+    def fold(pairs):
+        out = vec.zero()
+        for value, index in pairs:
+            out = vec.merge(out, vec.unit(value, index))
+        return out
+
+    partials = [fold([(1, 0), (2, 3)]), fold([(10, 3), (4, 5)])]
+    combined = vec.combine_partials(partials)
+    assert combined.to_list() == [1, 0, 0, 12, 0, 4]
+
+
+def test_combine_partials_empty_and_singleton():
+    for name in PRIMITIVE_INT + COLLECTION + ["string"]:
+        monoid = get_monoid(name)
+        assert monoid.combine_partials([]) == monoid.zero(), name
+        one = serial_fold(monoid, elements_for(name, random.Random(name), 3))
+        assert monoid.combine_partials([one]) == one, name

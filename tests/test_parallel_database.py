@@ -1,0 +1,150 @@
+"""Database-level parallel execution: enablement, equality with the
+serial engine, observability integration and the REPL toggle."""
+
+import pytest
+
+from repro.db import Database, company_schema, make_company
+from repro.db.database import demo_company_database
+from repro.parallel import ParallelConfig
+from repro.values import to_python
+
+QUERIES = [
+    "sum(select e.salary from e in Employees)",
+    "max(select e.age from e in Employees)",
+    "count(select e from e in Employees where e.salary > 30000)",
+    "select distinct e.dno from e in Employees",
+    "select e.name from e in Employees where e.age < 40",
+    "select struct(e: e.name, b: d.budget) "
+    "from e in Employees, d in Departments where e.dno = d.dno",
+    "select struct(d: dno, total: sum(select p.salary from p in partition)) "
+    "from e in Employees group by dno: e.dno",
+]
+
+FAST = ParallelConfig(max_workers=4, min_partition_rows=1)
+
+
+@pytest.fixture
+def dbs():
+    def make(parallel=None):
+        db = Database(company_schema(), parallel=parallel)
+        db.load_extents(make_company(num_departments=4, num_employees=40, seed=11))
+        return db
+
+    return make(), make(FAST)
+
+
+def test_results_equal_serial(dbs):
+    serial, par = dbs
+    assert par.parallel is FAST
+    for oql in QUERIES:
+        assert to_python(serial.run(oql)) == to_python(par.run(oql)), oql
+
+
+def test_run_detailed_records_fan_out(dbs):
+    _, par = dbs
+    result = par.run_detailed("sum(select e.salary from e in Employees)")
+    assert result.engine == "algebra"
+    assert result.stats.partitions == 4
+    assert result.stats.parallel_workers == 4
+
+
+def test_enable_disable_cycle(dbs):
+    serial, _ = dbs
+    assert serial.parallel is None
+    config = serial.enable_parallel(2)
+    assert serial.parallel is config and config.max_workers == 2
+    serial.disable_parallel()
+    assert serial.parallel is None
+    serial.enable_parallel()
+    assert serial.parallel.max_workers == ParallelConfig().max_workers
+
+
+def test_constructor_accepts_int_and_true():
+    db = Database(company_schema(), parallel=3)
+    assert db.parallel.max_workers == 3
+    db = Database(company_schema(), parallel=True)
+    assert db.parallel == ParallelConfig()
+
+
+def test_env_var_enables(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "4")
+    db = Database(company_schema())
+    assert db.parallel is not None and db.parallel.max_workers == 4
+    monkeypatch.setenv("REPRO_PARALLEL", "off")
+    assert Database(company_schema()).parallel is None
+
+
+def test_explicit_false_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PARALLEL", "1")
+    assert Database(company_schema(), parallel=False).parallel is None
+
+
+def test_explain_analyze_under_parallel():
+    db = demo_company_database()
+    db.enable_parallel(FAST)
+    out = db.explain(
+        "select e.name from e in Employees where e.salary > 20000", analyze=True
+    )
+    assert "actual=100" in out  # the scan saw every employee exactly once
+
+
+def test_verify_mode_passes(dbs):
+    serial, _ = dbs
+    serial.enable_parallel(
+        ParallelConfig(max_workers=4, min_partition_rows=1, verify=True)
+    )
+    for oql in QUERIES:
+        serial.run(oql)  # VerificationError would propagate
+
+
+def test_traced_query_attaches_partition_spans(dbs):
+    _, par = dbs
+    par.profile(True, sink=lambda line: None)
+    result = par.run_detailed("sum(select e.salary from e in Employees)")
+    execute = next(s for s in result.span.children if s.name == "execute")
+    names = [child.name for child in execute.children]
+    assert names == [f"partition[{i}]" for i in range(4)]
+
+
+def test_telemetry_counts_parallel_queries(dbs):
+    from repro.obs.telemetry.registry import MetricsRegistry
+
+    _, par = dbs
+    registry = MetricsRegistry()
+    par.enable_telemetry(registry)
+    par.run("sum(select e.salary from e in Employees)")
+    par.run("select e.name from e in Employees")
+    counter = registry.counter(
+        "repro_parallel_queries_total",
+        "queries answered by the partition-parallel engine",
+    )
+    assert counter.total() == 2
+    hist = registry.histogram(
+        "repro_parallel_partitions", "partitions per parallel query"
+    )
+    assert hist.labels().count == 2
+
+
+def test_cached_results_unaffected(dbs):
+    serial, par = dbs
+    par.enable_cache()
+    oql = "sum(select e.salary from e in Employees)"
+    first = to_python(par.run(oql))
+    second = to_python(par.run(oql))  # served from the result cache
+    assert first == second == to_python(serial.run(oql))
+
+
+def test_repl_parallel_toggle(dbs):
+    from repro.repl import Repl
+
+    serial, _ = dbs
+    lines = []
+    repl = Repl(serial, out=lines.append)
+    repl.handle(":parallel on")
+    assert serial.parallel is not None
+    assert any("parallel is on" in line for line in lines)
+    repl.handle(":parallel off")
+    assert serial.parallel is None
+    assert any("parallel is off" in line for line in lines)
+    repl.handle(":parallel bogus")
+    assert any("usage" in line for line in lines)

@@ -1,0 +1,161 @@
+"""Property-style equivalence: for every monoid in the catalog, a
+partitioned parallel fold equals the serial fold — over randomized
+data, randomized predicates and randomized partition shapes, including
+more workers than elements, one-element extents and empty extents.
+
+This is the executable form of the paper's section-2 argument: Reduce
+is a monoid homomorphism, so any partition of the input recombined
+with ``combine_partials`` (in partition order for non-commutative
+monoids) is the same homomorphism.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import Executor, Reduce, Scan, SelectOp
+from repro.calculus import const, gt, lam, proj, tup, var
+from repro.calculus.ast import MonoidRef
+from repro.eval import Evaluator
+from repro.parallel import ParallelConfig, ParallelExecutor
+from repro.values import Record, to_python
+
+SIZES = [0, 1, 3, 7, 40, 101]
+WORKER_COUNTS = [2, 3, 5, 8, 200]  # 200 > every extent size used here
+
+
+def records(rng, n):
+    return tuple(
+        Record(v=rng.randint(-50, 50), s=rng.choice("abcde")) for _ in range(n)
+    )
+
+
+def run_both(plan, env, workers, morsel_size=None):
+    serial = Executor(Evaluator(env)).execute(plan)
+    pex = ParallelExecutor(
+        Evaluator(env),
+        config=ParallelConfig(
+            max_workers=workers, min_partition_rows=1, morsel_size=morsel_size
+        ),
+    )
+    return serial, pex.execute(plan)
+
+
+def spine(rng):
+    """A scan, sometimes behind a randomized filter."""
+    scan = Scan("x", var("Xs"))
+    if rng.random() < 0.5:
+        return SelectOp(scan, gt(proj(var("x"), "v"), const(rng.randint(-50, 50))))
+    return scan
+
+
+# -- Table 1 primitive monoids ------------------------------------------------
+
+INT_PRIMITIVES = ["sum", "prod", "max", "min"]
+BOOL_PRIMITIVES = ["some", "all"]
+
+
+@pytest.mark.parametrize("name", INT_PRIMITIVES)
+def test_int_primitive_monoids(name):
+    rng = random.Random(f"prim-{name}")
+    for n in SIZES:
+        env = {"Xs": records(rng, n)}
+        plan = Reduce(MonoidRef(name), proj(var("x"), "v"), spine(rng))
+        workers = rng.choice(WORKER_COUNTS)
+        serial, par = run_both(plan, env, workers, rng.choice([None, 1, 3]))
+        assert serial == par, (name, n, workers)
+
+
+@pytest.mark.parametrize("name", BOOL_PRIMITIVES)
+def test_bool_primitive_monoids(name):
+    rng = random.Random(f"bool-{name}")
+    for n in SIZES:
+        env = {"Xs": records(rng, n)}
+        plan = Reduce(
+            MonoidRef(name),
+            gt(proj(var("x"), "v"), const(rng.randint(-50, 50))),
+            spine(rng),
+        )
+        serial, par = run_both(plan, env, rng.choice(WORKER_COUNTS))
+        assert serial == par, (name, n)
+
+
+# -- collection monoids -------------------------------------------------------
+
+COLLECTIONS = ["set", "bag", "list", "oset"]
+
+
+@pytest.mark.parametrize("name", COLLECTIONS)
+def test_collection_monoids(name):
+    rng = random.Random(f"coll-{name}")
+    for n in SIZES:
+        env = {"Xs": records(rng, n)}
+        plan = Reduce(MonoidRef(name), proj(var("x"), "v"), spine(rng))
+        workers = rng.choice(WORKER_COUNTS)
+        serial, par = run_both(plan, env, workers, rng.choice([None, 1, 5]))
+        assert to_python(serial) == to_python(par), (name, n, workers)
+
+
+def test_string_monoid_preserves_order():
+    rng = random.Random("string")
+    for n in SIZES:
+        env = {"Xs": records(rng, n)}
+        plan = Reduce(MonoidRef("string"), proj(var("x"), "s"), spine(rng))
+        serial, par = run_both(plan, env, rng.choice(WORKER_COUNTS))
+        assert serial == par, n
+
+
+@pytest.mark.parametrize("name", ["sorted", "sortedbag"])
+def test_sorted_monoids(name):
+    rng = random.Random(f"sorted-{name}")
+    for n in SIZES:
+        env = {"Xs": records(rng, n)}
+        ref = MonoidRef(name, key=lam("e", var("e")))
+        plan = Reduce(ref, proj(var("x"), "v"), spine(rng))
+        serial, par = run_both(plan, env, rng.choice(WORKER_COUNTS))
+        assert to_python(serial) == to_python(par), (name, n)
+
+
+def test_vector_monoid():
+    rng = random.Random("vec")
+    for n in SIZES:
+        env = {"Xs": records(rng, n)}
+        ref = MonoidRef("vec", element=MonoidRef("sum"), size=const(n))
+        plan = Reduce(
+            ref,
+            tup(proj(var("x"), "v"), var("i")),
+            Scan("x", var("Xs"), "i"),
+        )
+        serial, par = run_both(plan, env, rng.choice(WORKER_COUNTS))
+        assert to_python(serial) == to_python(par), n
+
+
+# -- partition-shape edge cases ----------------------------------------------
+
+
+def test_single_row_extent():
+    env = {"Xs": (Record(v=7, s="a"),)}
+    plan = Reduce(MonoidRef("list"), proj(var("x"), "v"), Scan("x", var("Xs")))
+    serial, par = run_both(plan, env, 8)
+    assert serial == par == (7,)
+
+
+def test_empty_extent_every_monoid():
+    env = {"Xs": ()}
+    for name in INT_PRIMITIVES + BOOL_PRIMITIVES + COLLECTIONS + ["string"]:
+        plan = Reduce(MonoidRef(name), proj(var("x"), "v"), Scan("x", var("Xs")))
+        serial, par = run_both(plan, env, 4)
+        assert serial == par, name
+
+
+def test_morsel_size_one_means_one_partition_per_row():
+    rng = random.Random("morsel-1")
+    env = {"Xs": records(rng, 23)}
+    plan = Reduce(MonoidRef("list"), proj(var("x"), "v"), Scan("x", var("Xs")))
+    serial = Executor(Evaluator(env)).execute(plan)
+    pex = ParallelExecutor(
+        Evaluator(env),
+        config=ParallelConfig(max_workers=4, min_partition_rows=1, morsel_size=1),
+    )
+    assert pex.execute(plan) == serial
+    assert pex.stats.partitions == 23
