@@ -1,0 +1,256 @@
+"""Experiment J1 (extension) — closure compilation of the hot path.
+
+The JIT targets the *execution* half of a query: once a plan exists
+(compiled-query cache, prepared statement, or simply the same plan
+executed over and over), every Select predicate, Join key, Unnest path,
+Nest key and Reduce head is evaluated once per row. These benchmarks
+time exactly that — ``Executor.execute`` over a precompiled plan — with
+closure compilation off (the seed's per-row AST interpretation) and on.
+
+Two predicate-heavy workloads carry the headline ≥2x shape:
+
+- **scan-pred** — a single-extent scan whose predicate is a deep
+  arithmetic/boolean expression (the shape QL2xx-clean OLAP filters
+  take after normalization);
+- **unnest-pred** — the travel schema's Cities→hotels→rooms unnest
+  pipeline with a correlated multi-conjunct room filter.
+
+Two more series record the honest *non*-headline shapes: cheap
+predicates and heads (where row plumbing, not expression evaluation,
+dominates) sit well under 2x — the JIT never makes them slower, but
+closure compilation cannot speed up work that isn't expression
+evaluation. The binding-dict reuse optimization that rode along with
+the JIT is measured last, and the honest answer is recorded: on 1-key
+binding dicts it is wall-time parity — the test asserts the analysis
+engages, results agree, and timing stays inside a noise band.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+from unittest import mock
+
+import pytest
+
+from benchmarks.conftest import build_company_db, build_travel_db
+from repro.algebra import physical
+from repro.algebra.physical import Executor
+from repro.algebra.translate import build_plan
+from repro.jit import JITConfig
+from repro.jit.plan import precompile_plan
+from repro.normalize import normalize
+
+NUM_EMPLOYEES = 2000
+NUM_CITIES = 30
+
+SCAN_PRED = (
+    "sum(select 1 from e in Employees where "
+    "(e.salary * 3 + e.age * 2 - e.dno) mod 7 < 5 and "
+    "e.salary + e.age * e.dno > 10000 and "
+    "(e.age - 20) * (e.age - 20) < 2000 and e.dno * e.dno >= 0 and "
+    "(e.salary div 100 + e.age * 3) mod 11 != 5 and "
+    "e.salary * 2 - e.age * e.dno + 17 > 0)"
+)
+UNNEST_PRED = (
+    "sum(select 1 from c in Cities, h in c.hotels, r in h.rooms where "
+    "r.price * 2 + r.beds * 10 > 300 and "
+    "(r.price - 50) * (r.beds + 1) < 9000 and r.price mod 7 != 3 and "
+    "(r.beds * r.beds + r.price div 10) mod 5 < 4 and "
+    "r.price + r.beds * 3 - 7 > 60 and h.stars * 20 + r.price > 100 and "
+    "(r.price * r.beds + h.stars) mod 13 != 6 and "
+    "r.beds * 2 + h.stars * 3 > 4)"
+)
+CHEAP_PRED = "sum(select 1 from e in Employees where e.salary > 40000)"
+RECORD_HEAD = (
+    "select struct(n: e.name, s: e.salary + e.age) "
+    "from e in Employees where e.salary > 30000"
+)
+
+WORKLOADS = {
+    "scan-pred": ("company", SCAN_PRED),
+    "unnest-pred": ("travel", UNNEST_PRED),
+    "cheap-pred": ("company", CHEAP_PRED),
+    "record-head": ("company", RECORD_HEAD),
+}
+
+
+def _dbs():
+    return {
+        "company": build_company_db(num_employees=NUM_EMPLOYEES, seed=3),
+        "travel": build_travel_db(num_cities=NUM_CITIES, seed=3),
+    }
+
+
+def _prepared(db, oql, jit: bool):
+    """A (plan, executor) pair ready for repeated execution."""
+    plan = db._optimize(build_plan(normalize(db.translate(oql)), pre_normalize=True))
+    if jit:
+        precompile_plan(plan)
+        executor = Executor(
+            db.evaluator(), db.catalog.index_mappings(), jit=JITConfig()
+        )
+    else:
+        executor = Executor(db.evaluator(), db.catalog.index_mappings())
+    return plan, executor
+
+
+@contextmanager
+def _quiesced_gc():
+    """Collector pauses scale with the live heap — after a long pytest
+    session they land asymmetrically on the shorter (jit) samples and
+    compress the measured ratio. Collect once, then keep the collector
+    out of the timed region."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _median_time(fn, repeats: int = 7) -> float:
+    """Best-of-N wall time — robust against load spikes in CI."""
+    times = []
+    with _quiesced_gc():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _paired_speedup(off, on, repeats: int = 9) -> float:
+    """Best-of-N for each side, sampled in alternation so slow drift in
+    machine load hits both sides equally."""
+    off_times, on_times = [], []
+    with _quiesced_gc():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            off()
+            off_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            on()
+            on_times.append(time.perf_counter() - start)
+    return min(off_times) / min(on_times)
+
+
+# -- benchmark series ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["interpreted", "jit"])
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_jit_series(benchmark, workload, mode):
+    schema, oql = WORKLOADS[workload]
+    benchmark.group = f"J1 {workload}"
+    db = _dbs()[schema]
+    plan, executor = _prepared(db, oql, jit=mode == "jit")
+    benchmark(lambda: executor.execute(plan))
+
+
+# -- shape assertions (run by plain pytest, recorded in EXPERIMENTS.md) --------
+
+
+def _speedup(oql: str, schema: str, attempts: int = 2) -> float:
+    db = _dbs()[schema]
+    plan_off, ex_off = _prepared(db, oql, jit=False)
+    plan_on, ex_on = _prepared(db, oql, jit=True)
+    assert ex_off.execute(plan_off) == ex_on.execute(plan_on)
+    return max(
+        _paired_speedup(
+            lambda: ex_off.execute(plan_off), lambda: ex_on.execute(plan_on)
+        )
+        for _ in range(attempts)
+    )
+
+
+def test_shape_scan_pred_speedup():
+    """Headline 1: a predicate-heavy scan at least doubles."""
+    speedup = _speedup(SCAN_PRED, "company")
+    assert speedup >= 2.0, f"scan-pred jit speedup {speedup:.2f}x < 2x"
+
+
+def test_shape_unnest_pred_speedup():
+    """Headline 2: the unnest pipeline with a heavy filter doubles."""
+    speedup = _speedup(UNNEST_PRED, "travel")
+    assert speedup >= 2.0, f"unnest-pred jit speedup {speedup:.2f}x < 2x"
+
+
+def test_shape_cheap_queries_never_slower():
+    """Where plumbing dominates, the JIT must at least break even
+    (within measurement noise)."""
+    for oql, schema in ((CHEAP_PRED, "company"), (RECORD_HEAD, "company")):
+        speedup = _speedup(oql, schema)
+        assert speedup >= 0.9, f"jit made a cheap query slower: {speedup:.2f}x"
+
+
+def test_shape_end_to_end_with_cache():
+    """Through Database.run with the compiled-query cache attached (the
+    deployment shape the JIT is designed for: compile once, execute per
+    call), the jit side must win clearly on the heavy predicate."""
+    from repro.cache import CacheConfig
+    from repro.db import Database, company_schema, make_company
+
+    def build(jit):
+        db = Database(company_schema(), parallel=False, jit=jit)
+        # Compile cache only: with the result cache on, both sides
+        # collapse to cache hits and nothing executes at all.
+        db.enable_cache(CacheConfig(results=False))
+        db.load_extents(
+            make_company(
+                num_departments=max(2, NUM_EMPLOYEES // 10),
+                num_employees=NUM_EMPLOYEES,
+                seed=3,
+            )
+        )
+        return db
+
+    off_db, on_db = build(False), build(True)
+    assert off_db.run(SCAN_PRED) == on_db.run(SCAN_PRED)  # warm the caches
+    speedup = _paired_speedup(
+        lambda: off_db.run(SCAN_PRED), lambda: on_db.run(SCAN_PRED)
+    )
+    assert speedup >= 1.5, (
+        f"cached end-to-end speedup collapsed: {speedup:.2f}x"
+    )
+
+
+def test_shape_binding_dict_reuse_is_parity():
+    """Honest record for EXPERIMENTS.md: the scan-dict reuse fast path
+    engages on this plan shape (the analysis marks the scan) yet buys no
+    measurable wall time on 1-key binding dicts — CPython allocates them
+    too cheaply for the hoist to matter. The assertion is therefore
+    *parity within noise*, in both directions: reuse must not regress
+    anything, and we must not claim a speedup the data does not show."""
+    from repro.algebra.ops import Scan
+
+    db = _dbs()["company"]
+    plan, executor = _prepared(db, CHEAP_PRED, jit=False)
+    reusable = physical._collect_reusable_scans(plan)
+    assert any(
+        isinstance(node, Scan) and id(node) in reusable
+        for node in _walk(plan)
+    ), "reuse analysis did not engage on a plain scan plan"
+
+    baseline = executor.execute(plan)
+    patcher = mock.patch.object(
+        physical, "_collect_reusable_scans", lambda p: frozenset()
+    )
+
+    def fresh_dicts():
+        with patcher:
+            return executor.execute(plan)
+
+    assert fresh_dicts() == baseline
+    # reuse-time / fresh-time: ~1.0 is the honest result
+    ratio = _paired_speedup(lambda: executor.execute(plan), fresh_dicts)
+    assert 0.75 <= ratio <= 1.33, f"parity band exceeded: {ratio:.2f}x"
+
+
+def _walk(node):
+    yield node
+    for child in node.children():
+        yield from _walk(child)

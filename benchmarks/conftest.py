@@ -20,12 +20,13 @@ from repro.db import (
 
 
 # The engine benchmarks time repeated identical queries, so the query
-# cache (REPRO_CACHE=1) would collapse every timing to a cache hit, and
-# REPRO_PARALLEL would change what the serial series measures; both
-# builders opt out of both. bench_cache.py manages its own caches,
-# bench_parallel.py its own fan-out.
+# cache (REPRO_CACHE=1) would collapse every timing to a cache hit,
+# REPRO_PARALLEL would change what the serial series measures, and
+# REPRO_JIT would change what the interpreted baseline measures; the
+# builders opt out of all three. bench_cache.py manages its own caches,
+# bench_parallel.py its own fan-out, bench_jit.py its own executors.
 def build_travel_db(num_cities: int, seed: int = 0) -> Database:
-    db = Database(travel_schema(), cache=False, parallel=False)
+    db = Database(travel_schema(), cache=False, parallel=False, jit=False)
     db.load_extents(
         make_travel_agency(
             num_cities=num_cities, hotels_per_city=5, rooms_per_hotel=6, seed=seed
@@ -35,7 +36,7 @@ def build_travel_db(num_cities: int, seed: int = 0) -> Database:
 
 
 def build_company_db(num_employees: int, seed: int = 0) -> Database:
-    db = Database(company_schema(), cache=False, parallel=False)
+    db = Database(company_schema(), cache=False, parallel=False, jit=False)
     db.load_extents(
         make_company(
             num_departments=max(2, num_employees // 10),

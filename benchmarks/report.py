@@ -245,6 +245,32 @@ def report_p2() -> None:
     print(f"    partitions={stats.partitions} workers={stats.parallel_workers}")
 
 
+def report_j1() -> None:
+    heading("J1 — closure compilation of the hot execution path (ms)")
+    from benchmarks.bench_jit import WORKLOADS, _dbs, _prepared
+
+    dbs = _dbs()
+    print("  executor-level (plan precompiled once, executed repeatedly):")
+    for label, (schema, oql) in WORKLOADS.items():
+        plan_off, ex_off = _prepared(dbs[schema], oql, jit=False)
+        plan_on, ex_on = _prepared(dbs[schema], oql, jit=True)
+        off_t = median_time(lambda: ex_off.execute(plan_off))
+        on_t = median_time(lambda: ex_on.execute(plan_on))
+        print(
+            f"    {label:<12} interpreted={off_t * 1e3:8.2f}  "
+            f"jit={on_t * 1e3:8.2f}   {off_t / on_t:5.2f}x"
+        )
+    db = dbs["company"]
+    db.enable_jit()
+    result = db.run_detailed(next(iter(WORKLOADS.values()))[1])
+    if result.jit is not None:
+        print(
+            f"    closure coverage on scan-pred: "
+            f"compiled={result.jit['compiled']} "
+            f"fallback={result.jit['fallback']}"
+        )
+
+
 def report_u1(sizes) -> None:
     heading("U1 — update program timings")
     from benchmarks.bench_section4_updates import _insertion_program, _object_db
@@ -275,6 +301,7 @@ def main(argv=None) -> int:
     report_c1()
     report_p1(p1_cities)
     report_p2()
+    report_j1()
     report_te1(p1_cities)
     report_v1(v1_sizes)
     report_u1(u1_sizes)

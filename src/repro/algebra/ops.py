@@ -85,6 +85,14 @@ class SelectOp(PlanNode):
     child: PlanNode
     pred: Term
 
+    # JIT slots (class-level defaults, not dataclass fields): populated
+    # in place by repro.jit.plan.compile_node. ``jit_ready`` is set last
+    # so concurrent readers either see a fully compiled node or fall
+    # back to compiling it themselves (idempotent).
+    pred_fn = None
+    jit_ready = False
+    jit_stats = None
+
     def columns(self) -> frozenset[str]:
         return self.child.columns()
 
@@ -111,6 +119,13 @@ class Join(PlanNode):
     left_keys: tuple[Term, ...] = ()
     right_keys: tuple[Term, ...] = ()
     residual: Optional[Term] = None
+
+    # JIT slots — see SelectOp.
+    left_key_fns = ()
+    right_key_fns = ()
+    residual_fn = None
+    jit_ready = False
+    jit_stats = None
 
     def columns(self) -> frozenset[str]:
         return self.left.columns() | self.right.columns()
@@ -145,6 +160,11 @@ class Unnest(PlanNode):
     path: Term
     index_var: Optional[str] = None
 
+    # JIT slots — see SelectOp.
+    src_fn = None
+    jit_ready = False
+    jit_stats = None
+
     def columns(self) -> frozenset[str]:
         out = set(self.child.columns()) | {self.var}
         if self.index_var:
@@ -167,6 +187,11 @@ class Reduce(PlanNode):
     monoid: MonoidRef
     head: Term
     child: PlanNode
+
+    # JIT slots — see SelectOp.
+    head_fn = None
+    jit_ready = False
+    jit_stats = None
 
     def columns(self) -> frozenset[str]:
         return self.child.columns()
@@ -197,6 +222,12 @@ class Nest(PlanNode):
     part_var: str
     part_head: Term
     part_monoid: MonoidRef
+
+    # JIT slots — see SelectOp.
+    key_fns = ()
+    head_fn = None
+    jit_ready = False
+    jit_stats = None
 
     def columns(self) -> frozenset[str]:
         return frozenset({label for label, _ in self.keys} | {self.part_var})

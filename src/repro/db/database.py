@@ -73,6 +73,10 @@ class QueryResult:
     #: cache outcome for this query, e.g. {"compile": "hit",
     #: "result": "miss"} (None unless the database had a cache)
     cache: Optional[dict[str, Any]] = None
+    #: JIT compilation report, e.g. {"compiled": 3, "fallback": 1,
+    #: "constructs": {"Comprehension": 1}} (None unless the JIT was on
+    #: and the query ran on the algebra engine)
+    jit: Optional[dict[str, Any]] = None
 
     def pipeline_report(self) -> str:
         """A printable record of every pipeline stage."""
@@ -88,6 +92,17 @@ class QueryResult:
                 "cache:      "
                 + "  ".join(f"{k}={v}" for k, v in sorted(self.cache.items()))
             )
+        if self.jit is not None:
+            line = (
+                f"jit:        compiled={self.jit.get('compiled', 0)}"
+                f"  fallback={self.jit.get('fallback', 0)}"
+            )
+            constructs = self.jit.get("constructs") or {}
+            if constructs:
+                line += "  (" + ", ".join(
+                    f"{name} x{count}" for name, count in sorted(constructs.items())
+                ) + ")"
+            lines.append(line)
         if self.span is not None:
             phases = self.span.phase_times_ms()
             lines.append(
@@ -119,6 +134,7 @@ class Database:
         cache: Any = None,
         telemetry: Any = None,
         parallel: Any = None,
+        jit: Any = None,
     ) -> None:
         self.schema = schema if schema is not None else Schema()
         self.catalog = Catalog()
@@ -149,6 +165,10 @@ class Database:
         #: otherwise, keeping the serial pipeline byte-for-byte the
         #: seed's (same opt-in convention as cache and telemetry)
         self.parallel: Optional[Any] = _resolve_parallel_lazy(parallel)
+        #: closure-compilation (JIT) config; None means off — the
+        #: default unless ``jit=`` / ``REPRO_JIT`` says otherwise,
+        #: keeping the interpreted hot loops byte-for-byte the seed's
+        self.jit: Optional[Any] = _resolve_jit_lazy(jit)
         # Bumped whenever query *meaning* changes outside the catalog
         # (views defined, functions registered, object extents added);
         # part of the compile-version vector cache entries pin.
@@ -373,7 +393,10 @@ class Database:
         config rules fan-out out)."""
         if self.parallel is None:
             return Executor(
-                evaluator, self.catalog.index_mappings(), metrics=plan_metrics
+                evaluator,
+                self.catalog.index_mappings(),
+                metrics=plan_metrics,
+                jit=self.jit,
             )
         from repro.parallel import ParallelExecutor
 
@@ -384,6 +407,7 @@ class Database:
             metrics=plan_metrics,
             config=self.parallel,
             tracer=tracer if tracer.enabled else None,
+            jit=self.jit,
         )
 
     def _with_telemetry(self, thunk: Any) -> QueryResult:
@@ -462,7 +486,7 @@ class Database:
         if engine in ("auto", "algebra") and not self._views:
             nest_result = self._try_group_by_plan(node, evaluator, plan_metrics)
             if nest_result is not None:
-                plan, value, stats = nest_result
+                plan, value, stats, jit_report = nest_result
                 return QueryResult(
                     oql,
                     calculus,
@@ -473,6 +497,7 @@ class Database:
                     stats,
                     "algebra",
                     metrics=plan_metrics,
+                    jit=jit_report,
                 )
         if engine in ("auto", "algebra") and isinstance(normalized, Comprehension):
             try:
@@ -482,6 +507,7 @@ class Database:
                     logical = build_plan(normalized, pre_normalize=True)
                 with tracer.span("optimize"):
                     plan = self._optimize(logical)
+                jit_report = self._jit_precompile(plan)
                 executor = self._executor(evaluator, plan_metrics)
                 with tracer.span("execute"):
                     value = executor.execute(plan)
@@ -497,6 +523,7 @@ class Database:
                     stats,
                     used_engine,
                     metrics=plan_metrics,
+                    jit=jit_report,
                 )
             except PlanError:
                 if engine == "algebra":
@@ -512,7 +539,7 @@ class Database:
         node: Any,
         evaluator: Evaluator,
         plan_metrics: Optional[PlanMetrics] = None,
-    ) -> Optional[tuple[Reduce, Any, ExecutionStats]]:
+    ) -> Optional[tuple[Reduce, Any, ExecutionStats, Optional[dict[str, Any]]]]:
         """A single-pass Nest plan for group-by selects (see
         :mod:`repro.algebra.groupby`); None when the shape doesn't apply."""
         from repro.algebra.groupby import build_group_by_plan
@@ -528,12 +555,34 @@ class Database:
                 from repro.analysis.plancheck import verify_plan
 
                 verify_plan(plan, phase="group-by-plan")
+            jit_report = self._jit_precompile(plan)
             executor = self._executor(evaluator, plan_metrics)
             with tracer.span("execute"):
                 value = executor.execute(plan)
-            return plan, value, executor.stats
+            return plan, value, executor.stats, jit_report
         except PlanError:
             return None
+
+    def _jit_precompile(self, plan: Optional[Reduce]) -> Optional[dict[str, Any]]:
+        """Pre-compile a plan's expressions (the pipeline's ``jit``
+        phase); None (and no span) when the JIT is off."""
+        if self.jit is None or plan is None:
+            return None
+        from repro.jit.plan import precompile_plan
+
+        with self._active_tracer().span("jit"):
+            return precompile_plan(plan)
+
+    def _jit_ensure(self, plan: Optional[Reduce]) -> Optional[dict[str, Any]]:
+        """The execute-time (re)compilation guard for cached plans: a
+        cache hit skips the jit span, but the nodes may have been
+        evicted-and-rebuilt or never compiled (entry cached before the
+        JIT was enabled). Idempotent and cheap when already compiled."""
+        if self.jit is None or plan is None:
+            return None
+        from repro.jit.plan import precompile_plan
+
+        return precompile_plan(plan)
 
     # -- cached pipeline --------------------------------------------------------
     #
@@ -599,6 +648,30 @@ class Database:
     def disable_parallel(self) -> None:
         """Revert to the seed's serial executor."""
         self.parallel = None
+
+    def enable_jit(self, jit: Any = True):
+        """Turn on closure compilation of hot-path expressions.
+
+        ``True`` gives the defaults; a
+        :class:`~repro.jit.JITConfig` tunes the per-row differential
+        ``verify`` check. While on, every Select predicate, Join key,
+        Unnest path, Nest key and Reduce head runs as a compiled Python
+        closure instead of re-interpreting its AST per row; constructs
+        outside the compilable fragment fall back to the reference
+        interpreter expression-by-expression. Values are guaranteed
+        identical either way — see ``docs/JIT.md``.
+        """
+        from repro.jit import resolve_jit
+
+        resolved = resolve_jit(jit)
+        if resolved is None:
+            resolved = resolve_jit(True)
+        self.jit = resolved
+        return resolved
+
+    def disable_jit(self) -> None:
+        """Revert to the seed's interpreted hot loops."""
+        self.jit = None
 
     def prepare(
         self,
@@ -752,6 +825,12 @@ class Database:
                 if engine == "algebra":
                     raise
                 plan = None
+        if self.jit is not None and plan is not None:
+            with tracer.span("jit"):
+                from repro.jit.plan import precompile_plan
+
+                precompile_plan(plan)
+            ran.add("jit")
         deps = analyze_dependencies(
             kind, plan, normalized, self._known_extent_names(), self.functions
         )
@@ -858,7 +937,7 @@ class Database:
                             cache=info,
                         )
                     info["result"] = "miss"
-        entry, plan, value, stats, used_engine = self._execute_entry(
+        entry, plan, value, stats, used_engine, jit_report = self._execute_entry(
             entry, engine, params, plan_metrics
         )
         if (
@@ -879,6 +958,7 @@ class Database:
             used_engine,
             metrics=plan_metrics,
             cache=info,
+            jit=jit_report,
         )
 
     def _execute_entry(
@@ -887,7 +967,14 @@ class Database:
         engine: str,
         params: dict[str, Any],
         plan_metrics: Optional[PlanMetrics],
-    ) -> tuple[CompiledQuery, Optional[Reduce], Any, Optional[ExecutionStats], str]:
+    ) -> tuple[
+        CompiledQuery,
+        Optional[Reduce],
+        Any,
+        Optional[ExecutionStats],
+        str,
+        Optional[dict[str, Any]],
+    ]:
         """Execute a compiled entry, mirroring the seed's fallback chain.
 
         The seed discovers plan failures at execution time (its try
@@ -901,11 +988,12 @@ class Database:
             evaluator.bind_global("$" + name, value)
         tracer = self._active_tracer()
         if entry.kind in ("groupby", "algebra"):
+            jit_report = self._jit_ensure(entry.plan)
             executor = self._executor(evaluator, plan_metrics)
             try:
                 with tracer.span("execute"):
                     value = executor.execute(entry.plan)
-                return entry, entry.plan, value, executor.stats, "algebra"
+                return entry, entry.plan, value, executor.stats, "algebra", jit_report
             except PlanError:
                 if entry.kind == "groupby":
                     entry = self._compile_entry(
@@ -923,7 +1011,7 @@ class Database:
                 entry = self._demote_entry(entry)
         with tracer.span("execute"):
             value = evaluator.evaluate(entry.normalized)
-        return entry, None, value, None, "interpret"
+        return entry, None, value, None, "interpret", None
 
     def _demote_entry(self, entry: CompiledQuery) -> CompiledQuery:
         """Rewrite an entry in place to interpreter execution."""
@@ -1152,6 +1240,25 @@ def _resolve_parallel_lazy(parallel: Any):
     from repro.parallel import resolve_parallel
 
     return resolve_parallel(parallel)
+
+
+def _resolve_jit_lazy(jit: Any):
+    """``Database(jit=...)`` -> :class:`JITConfig` or None, without
+    importing :mod:`repro.jit` on the default-off path."""
+    if jit is None:
+        import os
+
+        if os.environ.get("REPRO_JIT", "").strip().lower() in (
+            "",
+            "0",
+            "false",
+            "off",
+            "no",
+        ):
+            return None
+    from repro.jit import resolve_jit
+
+    return resolve_jit(jit)
 
 
 def _to_record(row: Any) -> Any:

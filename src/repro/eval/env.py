@@ -27,6 +27,23 @@ class Env:
         self._bindings = dict(bindings or {})
         self._parent = parent
 
+    @classmethod
+    def wrapping(cls, bindings: dict[str, Any], parent: "Env | None") -> "Env":
+        """A child environment *aliasing* ``bindings`` without copying.
+
+        The constructor copies its dict so environments stay immutable
+        even if the caller mutates theirs afterwards. On the per-row
+        execution path that copy is pure overhead: the executor either
+        owns a fresh dict per row or has proven (closure-capture
+        analysis) that nothing retains the environment past the row.
+        Callers must uphold that contract — the returned environment
+        reflects later mutations of ``bindings``.
+        """
+        env = cls.__new__(cls)
+        env._bindings = bindings
+        env._parent = parent
+        return env
+
     def bind(self, name: str, value: Any) -> "Env":
         """A child environment with one extra binding."""
         return Env({name: value}, parent=self)

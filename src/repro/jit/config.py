@@ -1,0 +1,67 @@
+"""Configuration and enablement for the closure-compiling JIT.
+
+Mirrors the cache/telemetry/parallel opt-in convention exactly: the
+JIT is **off by default** and the interpreted pipeline is
+byte-identical to the seed. It turns on via ``Database(jit=...)``,
+``Database.enable_jit()`` or the ``REPRO_JIT`` environment flag.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import DatabaseError
+
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+def jit_env_enabled() -> bool:
+    """Is the ``REPRO_JIT`` environment flag set (and not falsey)?"""
+    return os.environ.get("REPRO_JIT", "").strip().lower() not in _FALSEY
+
+
+@dataclass
+class JITConfig:
+    """Tuning knobs for the closure compiler.
+
+    ``verify`` controls the per-row differential check (every compiled
+    expression re-evaluated on the reference interpreter, results
+    compared): ``None`` defers to ``REPRO_VERIFY`` /
+    :func:`repro.analysis.verifier.verification`, matching the rewrite
+    verifier's convention; ``True``/``False`` force it for executors
+    built from this config.
+    """
+
+    verify: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.verify is not None and not isinstance(self.verify, bool):
+            raise DatabaseError("jit verify must be None or a bool")
+
+
+def config_from_env() -> JITConfig:
+    """A :class:`JITConfig` from ``REPRO_JIT`` (any truthy value gives
+    the defaults — there are no numeric knobs to parse)."""
+    return JITConfig()
+
+
+def resolve_jit(jit: Any) -> Optional[JITConfig]:
+    """Normalize ``Database(jit=...)`` to a config or None.
+
+    ``None`` defers to the ``REPRO_JIT`` environment flag (unset or
+    falsey → JIT off, the byte-for-byte-unchanged default).
+    ``True``/``False`` force it; a :class:`JITConfig` is used as-is.
+    """
+    if jit is None:
+        return config_from_env() if jit_env_enabled() else None
+    if jit is False:
+        return None
+    if jit is True:
+        return JITConfig()
+    if isinstance(jit, JITConfig):
+        return jit
+    raise DatabaseError(
+        f"jit must be None, a bool or a JITConfig, got {type(jit).__name__}"
+    )

@@ -16,7 +16,11 @@ Codes are grouped by hundreds:
   shapes that defeat or under-use the compiled-query cache. These are
   *batch* findings — they compare the queries of one file against each
   other, so they come from ``python -m repro lint`` rather than the
-  per-query pass pipeline.
+  per-query pass pipeline;
+- ``QL5xx`` — JIT findings (powered by :mod:`repro.jit`): hot-path
+  expressions that fall outside the compilable fragment and silently
+  drop back to per-row interpretation. Telemetry-informed, surfaced by
+  ``:stats`` / ``python -m repro metrics top`` like QL402.
 
 ``docs/LINT.md`` catalogues every code with examples; a test asserts
 the registry and the document stay in sync.
@@ -98,6 +102,12 @@ CODES: dict[str, tuple[str, str]] = {
         "hot query without index probes: a query class dominates measured "
         "runtime while scanning an extent an index could probe "
         "(telemetry-informed QL303)",
+    ),
+    "QL501": (
+        "warning",
+        "interpreter fallback in hot loop: a query class dominates measured "
+        "runtime but contains per-row expressions the JIT cannot compile, "
+        "so they re-enter the reference interpreter on every row",
     ),
 }
 

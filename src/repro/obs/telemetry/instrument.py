@@ -148,6 +148,27 @@ def record_query_result(
         for rule, count in fires.items():
             rule_counter.inc(count, rule=rule)
 
+    jit = getattr(result, "jit", None)
+    if jit is not None:
+        jit_counter = registry.counter(
+            "repro_jit_expressions_total",
+            "hot-path expressions prepared by the JIT, by outcome",
+            labels=("status",),
+        )
+        if jit.get("compiled"):
+            jit_counter.inc(jit["compiled"], status="compiled")
+        if jit.get("fallback"):
+            jit_counter.inc(jit["fallback"], status="fallback")
+        constructs = jit.get("constructs") or {}
+        if constructs:
+            construct_counter = registry.counter(
+                "repro_jit_fallback_constructs_total",
+                "interpreter-fallback expressions by offending construct",
+                labels=("construct",),
+            )
+            for name, count in constructs.items():
+                construct_counter.inc(count, construct=name)
+
     cache = getattr(db, "cache", None)
     if cache is not None:
         bridge_cache(registry, cache)
@@ -263,7 +284,12 @@ def summary_lines(
     if db is not None:
         from repro.obs.telemetry.advise import advise_hot_queries
 
-        for diag in advise_hot_queries(db, registry):
+        advice = list(advise_hot_queries(db, registry))
+        if getattr(db, "jit", None) is not None:
+            from repro.jit.advise import advise_jit_fallbacks
+
+            advice.extend(advise_jit_fallbacks(db, registry))
+        for diag in advice:
             lines.append(f"{diag}")
             if diag.hint:
                 lines.append(f"  = help: {diag.hint}")

@@ -45,12 +45,22 @@ PIPELINE_PHASES = (
     "normalize",
     "plan",
     "optimize",
+    "jit",
     "execute",
 )
 
 #: The front half a compilation-cache hit skips (``execute`` always
-#: runs; ``lint`` is a per-call flag, honored even on hits).
-COMPILE_PHASES = ("parse", "translate", "typecheck", "normalize", "plan", "optimize")
+#: runs; ``lint`` is a per-call flag, honored even on hits). ``jit``
+#: only appears when closure compilation is enabled (``REPRO_JIT``).
+COMPILE_PHASES = (
+    "parse",
+    "translate",
+    "typecheck",
+    "normalize",
+    "plan",
+    "optimize",
+    "jit",
+)
 
 
 @dataclass

@@ -140,6 +140,20 @@ class _PartitionExecutor(Executor):
 
     def _probe_prebuilt(self, node: _PrebuiltHashJoin) -> Iterator[dict[str, Any]]:
         join = node.join
+        if self.jit is not None:
+            # Compiled against the *original* Join node, so every worker
+            # sharing the prebuilt table reuses one set of closures.
+            left_fns, _, residual_fn = self._join_fns(join)
+            rt = self._rt
+            for left_binding in self._iter(node.left):
+                key = tuple(fn(left_binding, rt) for fn in left_fns)
+                for right_binding in node.table.get(key, ()):
+                    merged = {**left_binding, **right_binding}
+                    if residual_fn is not None and not residual_fn(merged, rt):
+                        continue
+                    self.stats.rows_joined += 1
+                    yield merged
+            return
         for left_binding in self._iter(node.left):
             key = tuple(self._eval(k, left_binding) for k in join.left_keys)
             for right_binding in node.table.get(key, ()):
@@ -151,6 +165,17 @@ class _PartitionExecutor(Executor):
 
     def _loop_prebuilt(self, node: _PrebuiltLoopJoin) -> Iterator[dict[str, Any]]:
         join = node.join
+        if self.jit is not None:
+            _, _, residual_fn = self._join_fns(join)
+            rt = self._rt
+            for left_binding in self._iter(node.left):
+                for right_binding in node.rows:
+                    merged = {**left_binding, **right_binding}
+                    if residual_fn is not None and not residual_fn(merged, rt):
+                        continue
+                    self.stats.rows_joined += 1
+                    yield merged
+            return
         for left_binding in self._iter(node.left):
             for right_binding in node.rows:
                 merged = {**left_binding, **right_binding}
@@ -178,8 +203,9 @@ class ParallelExecutor(_PartitionExecutor):
         metrics=None,
         config: Optional[ParallelConfig] = None,
         tracer=None,
+        jit=None,
     ) -> None:
-        super().__init__(evaluator, indexes, metrics)
+        super().__init__(evaluator, indexes, metrics, jit=jit)
         self.config = config or ParallelConfig()
         self.tracer = tracer
         self.last_mode = "serial"
@@ -190,7 +216,7 @@ class ParallelExecutor(_PartitionExecutor):
         monoid = self.evaluator.resolve_monoid(plan.monoid, self.evaluator.global_env)
         if self.config.max_workers <= 1:
             self.last_mode = "serial"
-            return self._fold(monoid, plan.head, self._iter(plan.child))
+            return self._fold_plan(plan, monoid, self._iter(plan.child))
         value, mode = self._maybe_parallel(plan, monoid)
         self.last_mode = mode
         if mode == "parallel":
@@ -209,7 +235,7 @@ class ParallelExecutor(_PartitionExecutor):
         spine_root = nest.child if nest is not None else child
         prepared = self._prepare_spine(spine_root)
         if prepared is None:
-            return self._fold(monoid, plan.head, self._iter(child)), "serial"
+            return self._fold_plan(plan, monoid, self._iter(child)), "serial"
         rebuild, scan = prepared
         source = self._eval(scan.source, {})
         rows = tuple(self._bindings_of(source, scan.var, scan.index_var))
@@ -227,7 +253,7 @@ class ParallelExecutor(_PartitionExecutor):
             # folded back onto the original plan nodes the snapshot
             # walks.
             worker = self._make_worker()
-            value = worker._fold(monoid, plan.head, worker._iter(rebuilt))
+            value = worker._fold_plan(plan, monoid, worker._iter(rebuilt))
             self.stats.merge_from(worker.stats)
             if self.metrics is not None and worker.metrics is not None:
                 self._pair_merge(original, rebuilt, worker.metrics)
@@ -247,7 +273,9 @@ class ParallelExecutor(_PartitionExecutor):
             from repro.obs.metrics import PlanMetrics
 
             metrics = PlanMetrics()
-        return _PartitionExecutor(self.evaluator, self.indexes, metrics=metrics)
+        return _PartitionExecutor(
+            self.evaluator, self.indexes, metrics=metrics, jit=self.jit
+        )
 
     def _pair_merge(self, original: PlanNode, rebuilt: PlanNode, worker_metrics) -> None:
         """Fold a worker's per-operator counters (keyed by the rebuilt
@@ -321,17 +349,25 @@ class ParallelExecutor(_PartitionExecutor):
             right_rows, self.config.max_workers, self.config.morsel_size
         )
         table: dict[Any, list[dict[str, Any]]] = {}
+        if self.jit is not None:
+            right_fns = self._join_fns(join)[1]
+            rt = self._rt
+
+            def key_of(rb: dict[str, Any]) -> tuple:
+                return tuple(fn(rb, rt) for fn in right_fns)
+
+        else:
+
+            def key_of(rb: dict[str, Any]) -> tuple:
+                return tuple(self._eval(k, rb) for k in join.right_keys)
+
         if len(partitions) <= 1 or len(right_rows) < self.config.min_partition_rows:
             for right_binding in right_rows:
-                key = tuple(self._eval(k, right_binding) for k in join.right_keys)
-                table.setdefault(key, []).append(right_binding)
+                table.setdefault(key_of(right_binding), []).append(right_binding)
             return table
 
         def keyed(part: Any) -> list[tuple[Any, dict[str, Any]]]:
-            return [
-                (tuple(self._eval(k, rb) for k in join.right_keys), rb)
-                for rb in part
-            ]
+            return [(key_of(rb), rb) for rb in part]
 
         with ThreadPoolExecutor(
             max_workers=min(self.config.max_workers, len(partitions))
@@ -422,7 +458,7 @@ class ParallelExecutor(_PartitionExecutor):
         partitions: list,
     ) -> Any:
         def fold(worker: _PartitionExecutor, child: PlanNode) -> Any:
-            return worker._fold(monoid, plan.head, worker._iter(child))
+            return worker._fold_plan(plan, monoid, worker._iter(child))
 
         outs, workers = self._fan_out(
             partitions, rebuild, scan, fold, ordered=not monoid.commutative
@@ -448,6 +484,21 @@ class ParallelExecutor(_PartitionExecutor):
 
         def group(worker: _PartitionExecutor, child: PlanNode) -> dict[tuple, Any]:
             groups: dict[tuple, Any] = {}
+            if worker.jit is not None:
+                worker._jit_node(nest)
+                key_fns = tuple(
+                    worker._jit_wrap(fn, term)
+                    for fn, (_, term) in zip(nest.key_fns, nest.keys)
+                )
+                head_fn = worker._jit_wrap(nest.head_fn, nest.part_head)
+                rt = worker._rt
+                for binding in worker._iter(child):
+                    key = tuple(fn(binding, rt) for fn in key_fns)
+                    acc = groups.get(key)
+                    if acc is None:
+                        acc = groups[key] = part_monoid.accumulator()
+                    acc.add(head_fn(binding, rt))
+                return {key: acc.finish() for key, acc in groups.items()}
             for binding in worker._iter(child):
                 key = tuple(worker._eval(term, binding) for _, term in nest.keys)
                 acc = groups.get(key)
@@ -481,4 +532,4 @@ class ParallelExecutor(_PartitionExecutor):
             block.invocations += 1
             block.rows_out += len(bindings)
             block.time_ns += time.perf_counter_ns() - nest_start
-        return self._fold(monoid, plan.head, iter(bindings))
+        return self._fold_plan(plan, monoid, iter(bindings))

@@ -1,0 +1,191 @@
+"""Differential parity: JIT on must equal JIT off, everywhere.
+
+Covers every Table 1 monoid as a Reduce target, the integration
+catalogue's §2-style OQL suite, randomized comprehensions from the
+normalization property harness, and the two soundness edges of the
+binding-dict reuse optimization (lambda capture, downstream retention).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import Executor, build_plan
+from repro.calculus import comp, const, filt, gen, gt, var
+from repro.db.database import demo_company_database, demo_travel_database
+from repro.eval import Evaluator
+from repro.jit import JITConfig
+from repro.values import Bag
+
+from tests.test_integration_pipeline import COMPANY_QUERIES, TRAVEL_QUERIES
+from tests.test_normalize_property import _term_and_data
+
+
+def both_ways(term, data):
+    """Execute ``term``'s plan with and without the JIT; must agree."""
+    plan = build_plan(term)
+    off = Executor(Evaluator(data)).execute(plan)
+    plan_jit = build_plan(term)
+    on = Executor(Evaluator(data), jit=JITConfig()).execute(plan_jit)
+    assert off == on, (term, off, on)
+    return on
+
+
+DATA = {"Xs": (3, 1, 4, 1, 5, 9, 2, 6), "Bs": Bag((2, 7, 1, 8, 2, 8))}
+
+
+class TestTable1Monoids:
+    """One Reduce per registered Table 1 monoid, jit on vs off."""
+
+    @pytest.mark.parametrize("monoid", ["sum", "prod", "max", "min"])
+    def test_numeric_primitives(self, monoid):
+        term = comp(
+            monoid,
+            var("x"),
+            [gen("x", var("Xs")), filt(gt(var("x"), const(1)))],
+        )
+        both_ways(term, DATA)
+
+    @pytest.mark.parametrize("monoid", ["some", "all"])
+    def test_boolean_primitives(self, monoid):
+        term = comp(monoid, gt(var("x"), const(4)), [gen("x", var("Xs"))])
+        both_ways(term, DATA)
+
+    @pytest.mark.parametrize("monoid", ["list", "set", "bag", "oset"])
+    def test_collections(self, monoid):
+        term = comp(
+            monoid,
+            var("x"),
+            [gen("x", var("Bs")), filt(gt(var("x"), const(1)))],
+        )
+        both_ways(term, DATA)
+
+    def test_string(self):
+        term = comp("string", const("ab"), [gen("x", var("Xs"))])
+        both_ways(term, DATA)
+
+
+class TestOQLCatalogue:
+    """The end-to-end OQL suite, database-level jit on vs off."""
+
+    @pytest.mark.parametrize("oql", TRAVEL_QUERIES)
+    def test_travel(self, oql):
+        db = demo_travel_database(num_cities=4, seed=3)
+        off = db.run(oql)
+        db.enable_jit()
+        assert db.run(oql) == off
+
+    @pytest.mark.parametrize("oql", COMPANY_QUERIES)
+    def test_company(self, oql):
+        db = demo_company_database(4, 40, seed=3)
+        off = db.run(oql)
+        db.enable_jit()
+        assert db.run(oql) == off
+
+    @pytest.mark.parametrize("oql", TRAVEL_QUERIES)
+    def test_travel_verify_mode(self, oql):
+        # The per-row differential check itself must never fire on the
+        # honest compiler output.
+        db = demo_travel_database(num_cities=3, seed=5)
+        db.enable_jit(JITConfig(verify=True))
+        db.run(oql)
+
+
+class TestRandomizedTerms:
+    @settings(max_examples=80, deadline=None)
+    @given(case=_term_and_data())
+    def test_random_comprehensions_agree(self, case):
+        term, data = case
+        both_ways(term, data)
+
+
+class TestReuseSoundness:
+    """The binding-dict reuse fast path must not leak mutated dicts."""
+
+    def test_lambda_in_head_disables_reuse(self):
+        # Normalization beta-reduces most lambdas away, so hand-build a
+        # plan whose Reduce head retains one: the analysis must refuse
+        # to reuse the scan dict (the closure could capture its env).
+        import dataclasses
+
+        from repro.algebra.physical import _collect_reusable_scans
+        from repro.calculus.ast import Apply, Lambda
+
+        term = comp("list", var("x"), [gen("x", var("Xs"))])
+        plan = build_plan(term)
+        captured = dataclasses.replace(
+            plan, head=Apply(Lambda("v", var("v")), var("x"))
+        )
+        assert _collect_reusable_scans(captured) == frozenset()
+        # and the plain head is reusable on the same shape
+        assert _collect_reusable_scans(plan) != frozenset()
+
+    def test_plain_scan_reuses_and_stays_correct(self):
+        from repro.algebra.ops import Scan
+        from repro.algebra.physical import _collect_reusable_scans
+
+        term = comp(
+            "list",
+            var("x"),
+            [gen("x", var("Xs")), filt(gt(var("x"), const(1)))],
+        )
+        plan = build_plan(term)
+        reusable = _collect_reusable_scans(plan)
+        scans = [
+            node
+            for node in _walk(plan)
+            if isinstance(node, Scan) and id(node) in reusable
+        ]
+        assert scans, "expected the single scan to be reusable"
+        both_ways(term, DATA)
+
+    def test_join_right_side_never_reused(self):
+        from repro.algebra.ops import Join, Scan
+        from repro.algebra.physical import _collect_reusable_scans
+        from repro.calculus import and_, eq
+        from repro.calculus.ast import TupleCons
+
+        term = comp(
+            "bag",
+            TupleCons((var("x"), var("y"))),
+            [
+                gen("x", var("Xs")),
+                gen("y", var("Bs")),
+                filt(eq(var("x"), var("y"))),
+            ],
+        )
+        plan = build_plan(term)
+        joins = [n for n in _walk(plan) if isinstance(n, Join)]
+        if joins:  # the optimizer built a hash join: its right side's
+            # dicts are stored in the build table, never reusable
+            reusable = _collect_reusable_scans(plan)
+            right_scans = [
+                n for n in _walk(joins[0].right) if isinstance(n, Scan)
+            ]
+            assert all(id(n) not in reusable for n in right_scans)
+        both_ways(term, DATA)
+
+    def test_collection_valued_rows_survive_reuse(self):
+        # Rows whose values are themselves collections: reuse mutates
+        # only the dict, never the values, so results hold references
+        # safely.
+        data = {"Rows": (((1, 2), 3), ((4, 5), 6))}
+        term = comp("list", var("r"), [gen("r", var("Rows"))])
+        both_ways(term, data)
+
+    def test_explain_analyze_disables_reuse(self):
+        from repro.algebra.physical import Executor
+        from repro.obs.metrics import PlanMetrics
+
+        term = comp("list", var("x"), [gen("x", var("Xs"))])
+        plan = build_plan(term)
+        executor = Executor(Evaluator(DATA), metrics=PlanMetrics())
+        executor.execute(plan)
+        assert executor._reusable_scans == frozenset()
+
+
+def _walk(node):
+    yield node
+    for child in node.children():
+        yield from _walk(child)

@@ -35,7 +35,7 @@ class TestRegistry:
         expected = {
             "QL000", "QL001", "QL002", "QL003", "QL004", "QL005", "QL006",
             "QL101", "QL102", "QL103", "QL201", "QL202", "QL203",
-            "QL301", "QL302", "QL303", "QL401", "QL402",
+            "QL301", "QL302", "QL303", "QL401", "QL402", "QL501",
         }
         assert expected == set(CODES)
 
